@@ -1,0 +1,97 @@
+// Command paperbench regenerates every table and figure of the Wave-PIM
+// paper's evaluation from the reproduction's models.
+//
+// Usage:
+//
+//	paperbench               # everything
+//	paperbench -exp fig11    # one experiment
+//	                         # (sec3.1, table2..table6, fig11..fig14, headline)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wavepim/internal/experiments"
+	"wavepim/internal/pim/chip"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, sec3.1, table2, table3, table4, table5, table6, fig11, fig12, fig13, fig14, opmix, headline")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+
+	if run("sec3.1") {
+		fmt.Println(experiments.Sec31Table())
+		any = true
+	}
+	if run("table2") {
+		fmt.Println(experiments.Table2())
+		any = true
+	}
+	if run("table3") {
+		fmt.Println(experiments.Table3Table())
+		any = true
+	}
+	if run("table4") {
+		fmt.Println(experiments.Table4())
+		any = true
+	}
+	if run("table5") {
+		fmt.Println(experiments.Table5Table())
+		any = true
+	}
+	if run("table6") {
+		fmt.Println(experiments.Table6Table())
+		any = true
+	}
+	if run("fig11") || run("fig12") {
+		rows := experiments.Fig11And12()
+		if run("fig11") {
+			fmt.Println(experiments.Fig11Table(rows))
+		}
+		if run("fig12") {
+			fmt.Println(experiments.Fig12Table(rows))
+		}
+		any = true
+	}
+	if run("fig13") {
+		fmt.Println(experiments.Fig13Table())
+		any = true
+	}
+	if run("opmix") {
+		fmt.Println(experiments.OpMixTable())
+		any = true
+	}
+	if run("maxwell") {
+		fmt.Println(experiments.MaxwellTable())
+		any = true
+	}
+	if run("fig14") {
+		fmt.Println(experiments.Fig14Table())
+		fmt.Printf("H-tree total-time savings over Bus (mean of the four cases): %.2fx (paper: ~2.16x)\n\n",
+			experiments.HTreeTimeSavings())
+		any = true
+	}
+	if run("headline") {
+		h := experiments.Headline()
+		fmt.Println("Headline averages (28nm PIM vs fused GPU implementations, mean over 6 benchmarks x 4 PIM configs)")
+		for _, g := range []string{"Fused-1080Ti", "Fused-P100", "Fused-V100"} {
+			fmt.Printf("  vs %-13s speedup %7.2fx   energy savings %6.2fx\n", g, h.SpeedupVsGPU[g], h.EnergyVsGPU[g])
+		}
+		fmt.Printf("  overall: %.2fx speedup, %.2fx energy savings (paper: 41.98x, 12.66x)\n", h.AvgSpeedup, h.AvgEnergy)
+		fmt.Printf("  chip configurations evaluated: ")
+		for _, c := range chip.AllConfigs() {
+			fmt.Printf("%s ", c.Name)
+		}
+		fmt.Println()
+		any = true
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,181 @@
+// Command wavepim runs Wave-PIM simulations.
+//
+// Timing mode (default) runs a full evaluation benchmark on a chip
+// configuration and prints time, energy, and the activity breakdown:
+//
+//	wavepim -bench acoustic_4 -chip 2GB
+//	wavepim -bench elastic-riemann_5 -chip 16GB -interconnect bus -pipelined=false
+//
+// Functional mode executes a small simulation entirely inside simulated
+// crossbar cells and verifies the result against the reference dG solver:
+//
+//	wavepim -functional -refine 1 -np 4 -steps 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"wavepim/internal/dg"
+	"wavepim/internal/dg/opcount"
+	"wavepim/internal/material"
+	"wavepim/internal/mesh"
+	"wavepim/internal/pim/chip"
+	"wavepim/internal/pim/isa"
+	"wavepim/internal/report"
+	"wavepim/internal/wavepim"
+)
+
+func main() {
+	benchName := flag.String("bench", "acoustic_4", "benchmark: acoustic_{4,5}, elastic-central_{4,5}, elastic-riemann_{4,5}")
+	chipName := flag.String("chip", "2GB", "chip capacity: 512MB, 2GB, 8GB, 16GB")
+	interconnect := flag.String("interconnect", "htree", "tile interconnect: htree or bus")
+	pipelined := flag.Bool("pipelined", true, "apply the Section 6.3 pipeline")
+	steps := flag.Int("steps", 1024, "time steps")
+	functional := flag.Bool("functional", false, "run a functional simulation in simulated crossbar cells")
+	refine := flag.Int("refine", 1, "functional: refinement level")
+	np := flag.Int("np", 4, "functional: GLL nodes per axis")
+	fnSteps := flag.Int("fsteps", 3, "functional: time steps")
+	disasm := flag.String("disasm", "", "disassemble a compiled kernel: volume, flux, integration")
+	flag.Parse()
+
+	if *disasm != "" {
+		runDisasm(*disasm)
+		return
+	}
+	if *functional {
+		runFunctional(*refine, *np, *fnSteps)
+		return
+	}
+
+	b, ok := parseBench(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *benchName)
+		os.Exit(2)
+	}
+	var cfg chip.Config
+	switch strings.ToUpper(*chipName) {
+	case "512MB":
+		cfg = chip.Config512MB()
+	case "2GB":
+		cfg = chip.Config2GB()
+	case "8GB":
+		cfg = chip.Config8GB()
+	case "16GB":
+		cfg = chip.Config16GB()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown chip %q\n", *chipName)
+		os.Exit(2)
+	}
+	if *interconnect == "bus" {
+		cfg.Interconnect = chip.Bus
+	}
+
+	opt := wavepim.DefaultOptions()
+	opt.TimeSteps = *steps
+	opt.Pipelined = *pipelined
+	res, err := wavepim.Run(b, cfg, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %s (%s interconnect, pipelined=%v)\n", b.Name(), cfg.Name, cfg.Interconnect, *pipelined)
+	fmt.Printf("  plan: %s, %d batch(es), %d blocks used of %d\n",
+		res.Plan.Table5String(), res.Plan.Batches, res.Plan.BlocksUsed(), cfg.NumBlocks())
+	fmt.Printf("  per-stage: %s   per-step: %s   total (%d steps): %s\n",
+		report.Seconds(res.StageSec), report.Seconds(res.StepSec), *steps, report.Seconds(res.TotalSec))
+	fmt.Printf("  energy: %s total (%s dynamic + %s static)\n",
+		report.Joules(res.EnergyJ), report.Joules(res.DynamicJ), report.Joules(res.StaticJ))
+	bd := res.Breakdown
+	fmt.Printf("  breakdown: compute %s | intra-element transfers %s | inter-element transfers %s | DRAM %s | host %s\n",
+		report.Seconds(bd.ComputeSec), report.Seconds(bd.IntraTransferSec),
+		report.Seconds(bd.InterTransferSec), report.Seconds(bd.DRAMSec), report.Seconds(bd.HostSec))
+	if len(res.Timeline) > 0 {
+		fmt.Println("  stage pipeline (one batch):")
+		for _, p := range res.Timeline {
+			fmt.Printf("    %-24s start=%-10s dur=%s\n", p.Name, report.Seconds(p.Start), report.Seconds(p.Dur))
+		}
+	}
+}
+
+// runDisasm prints a compiled kernel as encoded words plus assembly — the
+// instruction stream the host actually sends (Section 4.1).
+func runDisasm(kernel string) {
+	plan := wavepim.Plan{Tech: wavepim.Naive, Layout: wavepim.AcousticOneBlock, SlotsPerElem: 1}
+	c := wavepim.NewCompiler(plan, 8, dg.RiemannFlux)
+	var prog []isa.Instr
+	switch kernel {
+	case "volume":
+		prog = c.VolumeOneBlock()
+	case "flux":
+		prog = c.FluxOneBlock(mesh.FaceXMinus)
+	case "integration":
+		prog = c.IntegrationOneBlock(0)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kernel %q (volume, flux, integration)\n", kernel)
+		os.Exit(2)
+	}
+	words, err := isa.Assemble(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s kernel: %d instructions (acoustic, naive layout, Riemann flux, 512-node element)\n\n",
+		kernel, len(prog))
+	for i, w := range words {
+		fmt.Printf("%4d: %016x  %s\n", i, w, isa.Disassemble(prog[i]))
+	}
+	mix := isa.Mix(prog)
+	a, mu := mix.ArithShare()
+	fmt.Printf("\nop mix: %d instrs, %.0f%% arithmetic (%.0f%% of those multiplies)\n",
+		mix.Total, a*100, mu*100)
+}
+
+func parseBench(s string) (opcount.Benchmark, bool) {
+	for _, b := range opcount.AllBenchmarks() {
+		if strings.EqualFold(b.Name(), s) {
+			return b, true
+		}
+	}
+	return opcount.Benchmark{}, false
+}
+
+func runFunctional(refine, np, steps int) {
+	m := mesh.New(refine, np, true)
+	mat := material.Acoustic{Kappa: 2.25, Rho: 1.0}
+	fmt.Printf("functional PIM run: %d elements x %d nodes, %d steps, Riemann flux\n",
+		m.NumElem, m.NodesPerEl, steps)
+
+	ref := dg.NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, mat), dg.RiemannFlux)
+	it := dg.NewAcousticIntegrator(ref)
+	dt := ref.MaxStableDt(0.3)
+	q := dg.NewAcousticState(m)
+	dg.PlaneWaveX(m, mat, 1, q)
+	qPim := q.Copy()
+
+	fa, err := wavepim.NewFunctionalAcoustic(m, mat, dg.RiemannFlux, dt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fa.Load(qPim)
+	it.Run(q, 0, dt, steps)
+	fa.Run(steps)
+	got := dg.NewAcousticState(m)
+	fa.ReadState(got)
+
+	var worst float64
+	for i := range q.P {
+		if d := math.Abs(q.P[i] - got.P[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("  max |PIM - reference| pressure deviation: %.3e (float32 vs float64 round-off)\n", worst)
+	fmt.Printf("  simulated PIM time: %s   dynamic energy: %s\n",
+		report.Seconds(fa.Engine.TotalTime()), report.Joules(fa.Engine.TotalEnergy))
+	fmt.Printf("  instructions executed: %d   inter-block transfers: %d\n",
+		fa.Engine.InstrCount, fa.Engine.TransferCt)
+}

@@ -1,0 +1,25 @@
+// Package wavepim is the root of a full reproduction of "Wave-PIM:
+// Accelerating Wave Simulation Using Processing-in-Memory" (ICPP 2021).
+//
+// The library is organized under internal/:
+//
+//   - internal/dg, internal/quad, internal/mesh, internal/material: the
+//     reference discontinuous-Galerkin wave solver (acoustic and elastic,
+//     central and Riemann flux solvers, five-stage low-storage RK).
+//   - internal/pim/...: the digital PIM substrate — gate-level NOR
+//     arithmetic, the instruction set, crossbar blocks, H-tree/Bus
+//     interconnects, the chip hierarchy and power model, and the
+//     execution engine.
+//   - internal/wavepim: the paper's contribution — the element-to-block
+//     data layout, the kernel compiler, batching, expansion, pipelining,
+//     the Table 5 planner, and the timed benchmark runner.
+//   - internal/gpu, internal/hostcpu: analytic baseline models standing in
+//     for the paper's measured GPUs and CPUs.
+//   - internal/experiments: generators for every table and figure of the
+//     evaluation.
+//
+// The benchmarks in bench_test.go regenerate each table and figure; the
+// binaries under cmd/ and the programs under examples/ exercise the same
+// machinery interactively. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results.
+package wavepim

@@ -1,0 +1,3 @@
+module wavepim
+
+go 1.22

@@ -1,0 +1,75 @@
+package dg
+
+import (
+	"math"
+	"testing"
+
+	"wavepim/internal/material"
+	"wavepim/internal/mesh"
+)
+
+// Spatial (spectral) convergence: at fixed physical time and small dt, the
+// plane-wave error drops by orders of magnitude as the polynomial order
+// rises — the accuracy argument for the dG method that the paper cites
+// ("due to its accuracy, high data-locality, and ease of parallelization").
+func TestAcousticSpectralConvergence(t *testing.T) {
+	mat := material.Acoustic{Kappa: 2.25, Rho: 1.0}
+	tEnd := 0.1
+	errAt := func(np int) float64 {
+		m := mesh.New(1, np, true)
+		s := NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, mat), RiemannFlux)
+		q := NewAcousticState(m)
+		PlaneWaveX(m, mat, 1, q)
+		it := NewAcousticIntegrator(s)
+		steps := int(math.Ceil(tEnd / s.MaxStableDt(0.2)))
+		it.Run(q, 0, tEnd/float64(steps), steps)
+		return acousticMaxErr(m, q, 1, tEnd)
+	}
+	e3, e5, e7 := errAt(3), errAt(5), errAt(7)
+	if !(e5 < e3/10 && e7 < e5/10) {
+		t.Errorf("errors not spectrally convergent: np=3 %.3g, np=5 %.3g, np=7 %.3g", e3, e5, e7)
+	}
+}
+
+// h-convergence: refining the mesh at fixed order drops the error at
+// roughly the formal rate (order np for smooth solutions).
+func TestAcousticHConvergence(t *testing.T) {
+	mat := material.Acoustic{Kappa: 2.25, Rho: 1.0}
+	np := 4
+	tEnd := 0.05
+	errAt := func(ref int) float64 {
+		m := mesh.New(ref, np, true)
+		s := NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, mat), RiemannFlux)
+		q := NewAcousticState(m)
+		PlaneWaveX(m, mat, 1, q)
+		it := NewAcousticIntegrator(s)
+		steps := int(math.Ceil(tEnd / s.MaxStableDt(0.2)))
+		it.Run(q, 0, tEnd/float64(steps), steps)
+		return acousticMaxErr(m, q, 1, tEnd)
+	}
+	e1, e2 := errAt(1), errAt(2)
+	rate := math.Log2(e1 / e2)
+	if rate < 3 {
+		t.Errorf("h-convergence rate %.2f (e1=%.3g e2=%.3g), want >= 3 for np=4", rate, e1, e2)
+	}
+}
+
+// The elastic solver converges spectrally too.
+func TestElasticSpectralConvergence(t *testing.T) {
+	mat := material.Elastic{Lambda: 2, Mu: 1, Rho: 1}
+	tEnd := 0.1
+	errAt := func(np int) float64 {
+		m := mesh.New(1, np, true)
+		s := NewElasticSolver(m, material.UniformElastic(m.NumElem, mat), RiemannFlux)
+		q := NewElasticState(m)
+		PlaneWavePX(m, mat, 1, q)
+		it := NewElasticIntegrator(s)
+		steps := int(math.Ceil(tEnd / s.MaxStableDt(0.2)))
+		it.Run(q, 0, tEnd/float64(steps), steps)
+		return elasticMaxErrV(m, q, 0, 1, mat.PWaveSpeed(), tEnd)
+	}
+	e3, e6 := errAt(3), errAt(6)
+	if e6 > e3/100 {
+		t.Errorf("elastic errors not spectrally convergent: np=3 %.3g, np=6 %.3g", e3, e6)
+	}
+}

@@ -1,0 +1,174 @@
+// Package dg implements the reference nodal discontinuous Galerkin solver
+// for the acoustic and elastic wave equations (Section 2.2). It is a
+// spectral-element dG method on tensor-product hexahedral elements with
+// Gauss-Legendre-Lobatto collocation, which makes the element mass matrix
+// diagonal ("mass inverse" in Table 1) and gives the Volume / Flux /
+// Integration kernel split of Figure 2.
+//
+// This package is the ground truth the PIM functional simulation is
+// verified against, and its operator counts drive both the GPU roofline
+// model and Table 6.
+package dg
+
+import (
+	"wavepim/internal/mesh"
+)
+
+// Operator bundles the element-local differentiation machinery for a mesh:
+// the 1-D differentiation matrix applied along each tensor axis, scaled by
+// the (constant, affine) geometric Jacobian.
+type Operator struct {
+	M    *mesh.Mesh
+	np   int
+	nn   int
+	d    [][]float64 // 1-D differentiation matrix, np x np
+	jac  float64     // 2/H: d(reference)/d(physical)
+	lift float64     // surface lift factor (2/H)/w_0 applied at face nodes
+
+	faceNodes [mesh.NumFaces][]int // cached FaceNodes per face
+}
+
+// NewOperator builds the operator for a mesh.
+func NewOperator(m *mesh.Mesh) *Operator {
+	op := &Operator{
+		M:    m,
+		np:   m.Np,
+		nn:   m.NodesPerEl,
+		d:    m.Rule.D,
+		jac:  m.JacobianScale(),
+		lift: m.JacobianScale() / m.Rule.Weights[0],
+	}
+	for f := mesh.Face(0); f < mesh.NumFaces; f++ {
+		op.faceNodes[f] = m.FaceNodes(f)
+	}
+	return op
+}
+
+// Lift returns the surface lift coefficient: the diagonal-mass-inverse times
+// face mass factor, (2/H) / w_0, applied to flux differences at face nodes.
+func (op *Operator) Lift() float64 { return op.lift }
+
+// FaceNodes returns the cached face node index list for f.
+func (op *Operator) FaceNodes(f mesh.Face) []int { return op.faceNodes[f] }
+
+// Diff computes the physical-space derivative of the element-local nodal
+// values u (length NodesPerEl) along the given axis, writing into out.
+// out must not alias u.
+func (op *Operator) Diff(u []float64, axis mesh.Axis, out []float64) {
+	np, d := op.np, op.d
+	switch axis {
+	case mesh.AxisX:
+		for k := 0; k < np; k++ {
+			for j := 0; j < np; j++ {
+				base := (k*np + j) * np
+				for i := 0; i < np; i++ {
+					var s float64
+					row := d[i]
+					for m := 0; m < np; m++ {
+						s += row[m] * u[base+m]
+					}
+					out[base+i] = s * op.jac
+				}
+			}
+		}
+	case mesh.AxisY:
+		for k := 0; k < np; k++ {
+			for i := 0; i < np; i++ {
+				base := k * np * np
+				for j := 0; j < np; j++ {
+					var s float64
+					row := d[j]
+					for m := 0; m < np; m++ {
+						s += row[m] * u[base+m*np+i]
+					}
+					out[base+j*np+i] = s * op.jac
+				}
+			}
+		}
+	case mesh.AxisZ:
+		np2 := np * np
+		for j := 0; j < np; j++ {
+			for i := 0; i < np; i++ {
+				base := j*np + i
+				for k := 0; k < np; k++ {
+					var s float64
+					row := d[k]
+					for m := 0; m < np; m++ {
+						s += row[m] * u[base+m*np2]
+					}
+					out[base+k*np2] = s * op.jac
+				}
+			}
+		}
+	}
+}
+
+// AddDiff is Diff but accumulates (out += du/daxis); used to form
+// divergences without extra scratch.
+func (op *Operator) AddDiff(u []float64, axis mesh.Axis, out []float64) {
+	np, d := op.np, op.d
+	switch axis {
+	case mesh.AxisX:
+		for k := 0; k < np; k++ {
+			for j := 0; j < np; j++ {
+				base := (k*np + j) * np
+				for i := 0; i < np; i++ {
+					var s float64
+					row := d[i]
+					for m := 0; m < np; m++ {
+						s += row[m] * u[base+m]
+					}
+					out[base+i] += s * op.jac
+				}
+			}
+		}
+	case mesh.AxisY:
+		for k := 0; k < np; k++ {
+			for i := 0; i < np; i++ {
+				base := k * np * np
+				for j := 0; j < np; j++ {
+					var s float64
+					row := d[j]
+					for m := 0; m < np; m++ {
+						s += row[m] * u[base+m*np+i]
+					}
+					out[base+j*np+i] += s * op.jac
+				}
+			}
+		}
+	case mesh.AxisZ:
+		np2 := np * np
+		for j := 0; j < np; j++ {
+			for i := 0; i < np; i++ {
+				base := j*np + i
+				for k := 0; k < np; k++ {
+					var s float64
+					row := d[k]
+					for m := 0; m < np; m++ {
+						s += row[m] * u[base+m*np2]
+					}
+					out[base+k*np2] += s * op.jac
+				}
+			}
+		}
+	}
+}
+
+// IntegrateElement computes the volume quadrature of element-local nodal
+// values u: sum_n w3(n) * J * u[n], where w3 is the tensor-product GLL
+// weight and J the element Jacobian determinant.
+func (op *Operator) IntegrateElement(u []float64) float64 {
+	np, w := op.np, op.M.Rule.Weights
+	var s float64
+	idx := 0
+	for k := 0; k < np; k++ {
+		for j := 0; j < np; j++ {
+			wkj := w[k] * w[j]
+			for i := 0; i < np; i++ {
+				s += wkj * w[i] * u[idx]
+				idx++
+			}
+		}
+	}
+	return s * op.M.JacobianDet()
+}

@@ -1,0 +1,103 @@
+package dg
+
+import (
+	"runtime"
+	"sync"
+
+	"wavepim/internal/mesh"
+)
+
+// Multi-core execution of the reference solver. Elements are independent
+// in both the Volume kernel (purely element-local) and the Flux kernel
+// (each element writes only its own rows and reads neighbor values that no
+// kernel mutates), so a worker pool over element ranges parallelizes both
+// without locks. Each worker owns its scratch buffers.
+//
+// Set Workers > 1 on a solver to enable; 0 or 1 keeps the serial path.
+// The parallel path computes bit-identical results to the serial one
+// (per-element arithmetic order is unchanged).
+
+// parallelFor splits [0, n) into contiguous chunks across workers and
+// waits for completion. fn receives the element range and a worker index
+// for scratch selection.
+func parallelFor(n, workers int, fn func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi, w int) {
+			defer wg.Done()
+			fn(lo, hi, w)
+		}(lo, hi, w)
+	}
+	wg.Wait()
+}
+
+// DefaultWorkers returns a sensible worker count for this machine.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// acousticScratch is one worker's private work arrays.
+type acousticScratch struct {
+	divV, dPd []float64
+}
+
+// RHSParallel computes the full RHS using workers goroutines. It is
+// equivalent to RHS; the integrators use it automatically when the
+// solver's Workers field is set above 1.
+func (s *AcousticSolver) RHSParallel(q, rhs *AcousticState, workers int) {
+	m := s.Op.M
+	nn := m.NodesPerEl
+	scratch := make([]acousticScratch, workers)
+	for i := range scratch {
+		scratch[i] = acousticScratch{divV: make([]float64, nn), dPd: make([]float64, nn)}
+	}
+	parallelFor(m.NumElem, workers, func(lo, hi, w int) {
+		sc := scratch[w]
+		for e := lo; e < hi; e++ {
+			s.volumeElem(q, rhs, e, sc.divV, sc.dPd)
+			for f := mesh.Face(0); f < mesh.NumFaces; f++ {
+				s.fluxFace(q, rhs, e, f)
+			}
+		}
+	})
+}
+
+// volumeElem computes one element's Volume contribution with caller-owned
+// scratch (shared by the serial and parallel paths).
+func (s *AcousticSolver) volumeElem(q, rhs *AcousticState, e int, divV, dPd []float64) {
+	m := s.Op.M
+	nn := m.NodesPerEl
+	off := e * nn
+	mat := s.Mat.ByElem[e]
+	s.Op.Diff(q.V[0][off:off+nn], mesh.AxisX, divV)
+	s.Op.AddDiff(q.V[1][off:off+nn], mesh.AxisY, divV)
+	s.Op.AddDiff(q.V[2][off:off+nn], mesh.AxisZ, divV)
+	for n := 0; n < nn; n++ {
+		rhs.P[off+n] = -mat.Kappa * divV[n]
+	}
+	invRho := 1 / mat.Rho
+	for d := 0; d < 3; d++ {
+		s.Op.Diff(q.P[off:off+nn], mesh.Axis(d), dPd)
+		for n := 0; n < nn; n++ {
+			rhs.V[d][off+n] = -invRho * dPd[n]
+		}
+	}
+}

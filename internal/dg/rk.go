@@ -1,0 +1,129 @@
+package dg
+
+// The temporal integration scheme. The paper states "There are five
+// integration steps in each time-step" (Section 2.2) and that Integration
+// "operates on (volume and flux) contributions to update the variables, and
+// requires auxiliaries storage" (Figure 2) — exactly the structure of the
+// five-stage fourth-order low-storage Runge-Kutta scheme of Carpenter &
+// Kennedy (1994), the standard integrator for nodal dG wave solvers
+// (Hesthaven & Warburton). The "auxiliaries" are the single low-storage
+// register k.
+
+// LSRK5A and LSRK5B are the Carpenter-Kennedy 4th-order 5-stage low-storage
+// Runge-Kutta coefficients.
+var (
+	LSRK5A = [5]float64{
+		0,
+		-567301805773.0 / 1357537059087.0,
+		-2404267990393.0 / 2016746695238.0,
+		-3550918686646.0 / 2091501179385.0,
+		-1275806237668.0 / 842570457699.0,
+	}
+	LSRK5B = [5]float64{
+		1432997174477.0 / 9575080441755.0,
+		5161836677717.0 / 13612068292357.0,
+		1720146321549.0 / 2090206949498.0,
+		3134564353537.0 / 4481467310338.0,
+		2277821191437.0 / 14882151754819.0,
+	}
+	// LSRK5C gives the stage times (fraction of dt), needed when the RHS is
+	// time-dependent (e.g. a source term).
+	LSRK5C = [5]float64{
+		0,
+		1432997174477.0 / 9575080441755.0,
+		2526269341429.0 / 6820363962896.0,
+		2006345519317.0 / 3224310063776.0,
+		2802321613138.0 / 2924317926251.0,
+	}
+)
+
+// NumStages is the number of RHS evaluations (and Integration kernel
+// launches) per time-step.
+const NumStages = 5
+
+// AcousticIntegrator advances an acoustic state with the low-storage RK
+// scheme. It owns the auxiliaries (Table 1: "Temporary storage for unknown
+// variables needed during the temporal integration step") and the
+// contributions buffer the RHS kernels fill.
+type AcousticIntegrator struct {
+	Solver *AcousticSolver
+	aux    *AcousticState // low-storage register ("auxiliaries")
+	contr  *AcousticState // RHS output ("contributions")
+	// Source, if non-nil, is evaluated at each stage time and added to the
+	// pressure RHS (a point source smeared over its element).
+	Source func(t float64, rhsP []float64)
+}
+
+// NewAcousticIntegrator allocates the integrator's storage.
+func NewAcousticIntegrator(s *AcousticSolver) *AcousticIntegrator {
+	return &AcousticIntegrator{
+		Solver: s,
+		aux:    NewAcousticState(s.Op.M),
+		contr:  NewAcousticState(s.Op.M),
+	}
+}
+
+// Step advances q from time t by dt in five stages.
+func (it *AcousticIntegrator) Step(q *AcousticState, t, dt float64) {
+	for s := 0; s < NumStages; s++ {
+		it.Solver.RHS(q, it.contr)
+		if it.Source != nil {
+			it.Source(t+LSRK5C[s]*dt, it.contr.P)
+		}
+		// aux = A[s]*aux + dt*contr ; q += B[s]*aux  (the Integration kernel)
+		it.aux.Scale(LSRK5A[s])
+		it.aux.AddScaled(dt, it.contr)
+		q.AddScaled(LSRK5B[s], it.aux)
+	}
+}
+
+// Run advances q for steps time-steps starting at time t0 and returns the
+// final time.
+func (it *AcousticIntegrator) Run(q *AcousticState, t0, dt float64, steps int) float64 {
+	t := t0
+	for i := 0; i < steps; i++ {
+		it.Step(q, t, dt)
+		t += dt
+	}
+	return t
+}
+
+// ElasticIntegrator is the elastic counterpart of AcousticIntegrator.
+type ElasticIntegrator struct {
+	Solver *ElasticSolver
+	aux    *ElasticState
+	contr  *ElasticState
+	Source func(t float64, rhsV [3][]float64)
+}
+
+// NewElasticIntegrator allocates the integrator's storage.
+func NewElasticIntegrator(s *ElasticSolver) *ElasticIntegrator {
+	return &ElasticIntegrator{
+		Solver: s,
+		aux:    NewElasticState(s.Op.M),
+		contr:  NewElasticState(s.Op.M),
+	}
+}
+
+// Step advances q from time t by dt in five stages.
+func (it *ElasticIntegrator) Step(q *ElasticState, t, dt float64) {
+	for s := 0; s < NumStages; s++ {
+		it.Solver.RHS(q, it.contr)
+		if it.Source != nil {
+			it.Source(t+LSRK5C[s]*dt, it.contr.V)
+		}
+		it.aux.Scale(LSRK5A[s])
+		it.aux.AddScaled(dt, it.contr)
+		q.AddScaled(LSRK5B[s], it.aux)
+	}
+}
+
+// Run advances q for steps time-steps starting at t0.
+func (it *ElasticIntegrator) Run(q *ElasticState, t0, dt float64, steps int) float64 {
+	t := t0
+	for i := 0; i < steps; i++ {
+		it.Step(q, t, dt)
+		t += dt
+	}
+	return t
+}

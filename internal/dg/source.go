@@ -1,0 +1,96 @@
+package dg
+
+import (
+	"math"
+
+	"wavepim/internal/mesh"
+)
+
+// Ricker is the Ricker wavelet (second derivative of a Gaussian), the
+// standard source time function of seismic wave simulation:
+//
+//	r(t) = (1 - 2 pi^2 f^2 (t-t0)^2) exp(-pi^2 f^2 (t-t0)^2)
+func Ricker(peakFreq, t0, t float64) float64 {
+	a := math.Pi * peakFreq * (t - t0)
+	a2 := a * a
+	return (1 - 2*a2) * math.Exp(-a2)
+}
+
+// PointSource injects a source time function at the node of the mesh
+// nearest to the given physical position.
+type PointSource struct {
+	Elem, Node int     // injection site
+	Amp        float64 // amplitude
+	PeakFreq   float64 // Ricker peak frequency
+	Delay      float64 // Ricker delay t0
+	scale      float64 // converts amplitude to a nodal RHS density
+}
+
+// NewPointSource locates the closest node to (x,y,z) and returns a source
+// with sensible Ricker defaults for the mesh resolution.
+func NewPointSource(m *mesh.Mesh, x, y, z, amp float64) *PointSource {
+	bestE, bestN, bestD := 0, 0, math.Inf(1)
+	for e := 0; e < m.NumElem; e++ {
+		for n := 0; n < m.NodesPerEl; n++ {
+			px, py, pz := m.NodePosition(e, n)
+			d := (px-x)*(px-x) + (py-y)*(py-y) + (pz-z)*(pz-z)
+			if d < bestD {
+				bestE, bestN, bestD = e, n, d
+			}
+		}
+	}
+	// Nodal quadrature weight at the site, to normalize the injected
+	// density so the integral of the source is Amp.
+	i, j, k := m.NodeCoords(bestN)
+	w := m.Rule.Weights[i] * m.Rule.Weights[j] * m.Rule.Weights[k] * m.JacobianDet()
+	peak := 2.0 // cycles across the domain; resolvable on any refinement
+	return &PointSource{
+		Elem: bestE, Node: bestN, Amp: amp,
+		PeakFreq: peak, Delay: 1 / peak,
+		scale: 1 / w,
+	}
+}
+
+// AddTo injects the source value at time t into the nodal RHS array
+// (pressure for acoustic runs, a velocity component for elastic ones).
+func (ps *PointSource) AddTo(t float64, rhs []float64, nodesPerEl int) {
+	rhs[ps.Elem*nodesPerEl+ps.Node] += ps.Amp * ps.scale * Ricker(ps.PeakFreq, ps.Delay, t)
+}
+
+// Receiver records the time history of one nodal value.
+type Receiver struct {
+	Elem, Node int
+	Times      []float64
+	Values     []float64
+}
+
+// NewReceiver locates the node closest to (x,y,z).
+func NewReceiver(m *mesh.Mesh, x, y, z float64) *Receiver {
+	bestE, bestN, bestD := 0, 0, math.Inf(1)
+	for e := 0; e < m.NumElem; e++ {
+		for n := 0; n < m.NodesPerEl; n++ {
+			px, py, pz := m.NodePosition(e, n)
+			d := (px-x)*(px-x) + (py-y)*(py-y) + (pz-z)*(pz-z)
+			if d < bestD {
+				bestE, bestN, bestD = e, n, d
+			}
+		}
+	}
+	return &Receiver{Elem: bestE, Node: bestN}
+}
+
+// Record appends the current nodal value at time t.
+func (r *Receiver) Record(t float64, field []float64, nodesPerEl int) {
+	r.Times = append(r.Times, t)
+	r.Values = append(r.Values, field[r.Elem*nodesPerEl+r.Node])
+}
+
+// PeakAbs returns the maximum absolute recorded value and its time.
+func (r *Receiver) PeakAbs() (t, v float64) {
+	for i, x := range r.Values {
+		if math.Abs(x) > math.Abs(v) {
+			v, t = x, r.Times[i]
+		}
+	}
+	return
+}

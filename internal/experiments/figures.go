@@ -1,0 +1,390 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"wavepim/internal/dg/opcount"
+	"wavepim/internal/gpu"
+	"wavepim/internal/params"
+	"wavepim/internal/pim/chip"
+	"wavepim/internal/report"
+	"wavepim/internal/wavepim"
+)
+
+// pimCache memoizes PIM timing runs (Figures 11, 12 and 14 share them).
+var pimCache sync.Map
+
+type pimKey struct {
+	bench     string
+	chip      string
+	inter     chip.InterconnectKind
+	pipelined bool
+}
+
+func pimRun(b opcount.Benchmark, cfg chip.Config, pipelined bool) wavepim.Result {
+	key := pimKey{b.Name(), cfg.Name, cfg.Interconnect, pipelined}
+	if v, ok := pimCache.Load(key); ok {
+		return v.(wavepim.Result)
+	}
+	opt := wavepim.DefaultOptions()
+	opt.Pipelined = pipelined
+	res, err := wavepim.Run(b, cfg, opt)
+	if err != nil {
+		panic(err)
+	}
+	pimCache.Store(key, res)
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Figures 11 and 12: performance and energy comparison
+// ---------------------------------------------------------------------------
+
+// PlatformResult is one platform's absolute time and energy on a benchmark.
+type PlatformResult struct {
+	Platform string
+	TimeSec  float64
+	EnergyJ  float64
+}
+
+// FigRow is one benchmark's results across all platforms, with everything
+// needed to normalize to the Unfused-1080Ti baseline as the figures do.
+type FigRow struct {
+	Bench   opcount.Benchmark
+	Results []PlatformResult
+}
+
+// Baseline returns the row's Unfused-1080Ti entry.
+func (r FigRow) Baseline() PlatformResult { return r.Results[0] }
+
+// Normalized returns time and energy of platform i relative to the
+// baseline.
+func (r FigRow) Normalized(i int) (time, energy float64) {
+	b := r.Baseline()
+	return r.Results[i].TimeSec / b.TimeSec, r.Results[i].EnergyJ / b.EnergyJ
+}
+
+// PIMPlatforms lists the PIM entries of Figures 11-12 in order: the four
+// capacities at 28 nm, then the four capacities scaled to 12 nm.
+func PIMPlatforms() []string {
+	var names []string
+	for _, cfg := range chip.AllConfigs() {
+		names = append(names, cfg.Name+"-28nm")
+	}
+	for _, cfg := range chip.AllConfigs() {
+		names = append(names, cfg.Name+"-12nm")
+	}
+	return names
+}
+
+// Fig11And12 computes every platform's time and energy on every benchmark.
+func Fig11And12() []FigRow {
+	var rows []FigRow
+	for _, b := range opcount.AllBenchmarks() {
+		row := FigRow{Bench: b}
+		for _, m := range gpu.Baselines() {
+			row.Results = append(row.Results, PlatformResult{
+				Platform: m.Name(),
+				TimeSec:  m.RunTime(b, TimeSteps),
+				EnergyJ:  m.Energy(b, TimeSteps),
+			})
+		}
+		for _, cfg := range chip.AllConfigs() {
+			res := pimRun(b, cfg, true)
+			row.Results = append(row.Results, PlatformResult{
+				Platform: cfg.Name + "-28nm",
+				TimeSec:  res.TotalSec,
+				EnergyJ:  res.EnergyJ,
+			})
+		}
+		for _, cfg := range chip.AllConfigs() {
+			res := pimRun(b, cfg, true)
+			row.Results = append(row.Results, PlatformResult{
+				Platform: cfg.Name + "-12nm",
+				TimeSec:  res.TotalSec / params.Scale12nmPerf,
+				EnergyJ:  res.EnergyJ / params.Scale12nmEnergy,
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AvgSpeedups computes, for each PIM platform name, the mean speedup over
+// the six benchmarks against the given GPU reference platform.
+func AvgSpeedups(rows []FigRow, reference string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, pim := range PIMPlatforms() {
+		var sum float64
+		for _, row := range rows {
+			var ref, p float64
+			for _, e := range row.Results {
+				if e.Platform == reference {
+					ref = e.TimeSec
+				}
+				if e.Platform == pim {
+					p = e.TimeSec
+				}
+			}
+			sum += ref / p
+		}
+		out[pim] = sum / float64(len(rows))
+	}
+	return out
+}
+
+// AvgEnergySavings computes mean energy savings against a reference.
+func AvgEnergySavings(rows []FigRow, reference string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, pim := range PIMPlatforms() {
+		var sum float64
+		for _, row := range rows {
+			var ref, p float64
+			for _, e := range row.Results {
+				if e.Platform == reference {
+					ref = e.EnergyJ
+				}
+				if e.Platform == pim {
+					p = e.EnergyJ
+				}
+			}
+			sum += ref / p
+		}
+		out[pim] = sum / float64(len(rows))
+	}
+	return out
+}
+
+// figTable renders a normalized grid (time or energy).
+func figTable(rows []FigRow, title string, energy bool) *report.Table {
+	t := &report.Table{Title: title}
+	t.Headers = []string{"Platform"}
+	for _, row := range rows {
+		t.Headers = append(t.Headers, row.Bench.Name())
+	}
+	for i := range rows[0].Results {
+		cells := []string{rows[0].Results[i].Platform}
+		for _, row := range rows {
+			tm, en := row.Normalized(i)
+			v := tm
+			if energy {
+				v = en
+			}
+			cells = append(cells, fmt.Sprintf("%.4f", v))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig11Table renders Figure 11 (time normalized to Unfused-1080Ti).
+func Fig11Table(rows []FigRow) *report.Table {
+	t := figTable(rows, "Figure 11: Time normalized to Unfused GTX 1080Ti", false)
+	sp := AvgSpeedups(rows, "Unfused-1080Ti")
+	spf := AvgSpeedups(rows, "Fused-V100")
+	for _, cfg := range chip.AllConfigs() {
+		t.AddNote("%s-28nm avg speedup: %.2fx vs Unfused-1080Ti (paper 12nm-class avgs: 10.28/35.80/72.21/172.76), %.2fx vs Fused-V100",
+			cfg.Name, sp[cfg.Name+"-28nm"], spf[cfg.Name+"-28nm"])
+	}
+	return t
+}
+
+// Fig12Table renders Figure 12 (energy normalized to Unfused-1080Ti).
+func Fig12Table(rows []FigRow) *report.Table {
+	t := figTable(rows, "Figure 12: Energy normalized to Unfused GTX 1080Ti", true)
+	es := AvgEnergySavings(rows, "Unfused-1080Ti")
+	for _, cfg := range chip.AllConfigs() {
+		t.AddNote("%s-28nm avg energy savings: %.2fx vs Unfused-1080Ti (paper: 26.62/26.82/14.28/16.01)",
+			cfg.Name, es[cfg.Name+"-28nm"])
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13: pipeline breakdown
+// ---------------------------------------------------------------------------
+
+// Fig13Result carries one stage's pipeline timeline plus the
+// pipelined-versus-unpipelined throughput relation.
+type Fig13Result struct {
+	Timeline         []wavepim.StagePhase
+	PipelinedStage   float64
+	UnpipelinedStage float64
+	// ThroughputRatio is the unpipelined system's relative throughput
+	// (the paper: "Without pipelining, our Wave-PIM can only obtain a
+	// 0.77x throughput").
+	ThroughputRatio float64
+}
+
+// Fig13 analyzes the acoustic refinement-4 benchmark on the 2 GB chip
+// (the Figure 13 configuration).
+func Fig13() Fig13Result {
+	b := opcount.Benchmark{Eq: opcount.Acoustic, Refinement: 4}
+	cfg := chip.Config2GB()
+	piped := pimRun(b, cfg, true)
+	flat := pimRun(b, cfg, false)
+	return Fig13Result{
+		Timeline:         piped.Timeline,
+		PipelinedStage:   piped.StageSec,
+		UnpipelinedStage: flat.StageSec,
+		ThroughputRatio:  piped.StageSec / flat.StageSec,
+	}
+}
+
+// Fig13Table renders the timeline with an ASCII Gantt chart mirroring the
+// paper's figure.
+func Fig13Table() *report.Table {
+	r := Fig13()
+	t := &report.Table{
+		Title:   "Figure 13: Pipeline breakdown (Acoustic_4 on PIM-2GB, one RK stage)",
+		Headers: []string{"Activity", "Start", "Duration", "Timeline"},
+	}
+	var end float64
+	for _, p := range r.Timeline {
+		if e := p.Start + p.Dur; e > end {
+			end = e
+		}
+	}
+	const width = 48
+	for _, p := range r.Timeline {
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		lo := int(p.Start / end * float64(width))
+		hi := int((p.Start + p.Dur) / end * float64(width))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		for i := lo; i < hi; i++ {
+			bar[i] = '#'
+		}
+		t.AddRow(p.Name, report.Seconds(p.Start), report.Seconds(p.Dur), "|"+string(bar)+"|")
+	}
+	t.AddNote("pipelined stage %s vs unpipelined %s: unpipelined throughput = %.2fx (paper: 0.77x)",
+		report.Seconds(r.PipelinedStage), report.Seconds(r.UnpipelinedStage), r.ThroughputRatio)
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14: H-tree versus Bus
+// ---------------------------------------------------------------------------
+
+// Fig14Case is one of the four benchmark/chip cases, under both
+// interconnects.
+type Fig14Case struct {
+	Label           string
+	Bench           opcount.Benchmark
+	ChipName        string
+	HTree           wavepim.Breakdown
+	Bus             wavepim.Breakdown
+	HTreeInterShare float64
+	BusInterShare   float64
+}
+
+// IntraSec and InterSec implement Figure 14's stacked-bar decomposition.
+func IntraSec(b wavepim.Breakdown) float64 { return b.ComputeSec + b.IntraTransferSec }
+func InterSec(b wavepim.Breakdown) float64 { return b.InterTransferSec }
+
+// Fig14 runs the four cases of the interconnect study.
+func Fig14() []Fig14Case {
+	cases := []struct {
+		bench opcount.Benchmark
+		cfg   chip.Config
+	}{
+		{opcount.Benchmark{Eq: opcount.Acoustic, Refinement: 4}, chip.Config512MB()},
+		{opcount.Benchmark{Eq: opcount.Acoustic, Refinement: 4}, chip.Config2GB()},
+		{opcount.Benchmark{Eq: opcount.ElasticCentral, Refinement: 4}, chip.Config2GB()},
+		{opcount.Benchmark{Eq: opcount.ElasticCentral, Refinement: 4}, chip.Config8GB()},
+	}
+	var out []Fig14Case
+	for _, c := range cases {
+		ht := pimRun(c.bench, c.cfg, true)
+		busCfg := c.cfg
+		busCfg.Interconnect = chip.Bus
+		bus := pimRun(c.bench, busCfg, true)
+		fc := Fig14Case{
+			Label:    fmt.Sprintf("%s @ %s", c.bench.Name(), c.cfg.Name),
+			Bench:    c.bench,
+			ChipName: c.cfg.Name,
+			HTree:    ht.Breakdown,
+			Bus:      bus.Breakdown,
+		}
+		fc.HTreeInterShare = InterSec(ht.Breakdown) / (IntraSec(ht.Breakdown) + InterSec(ht.Breakdown))
+		fc.BusInterShare = InterSec(bus.Breakdown) / (IntraSec(bus.Breakdown) + InterSec(bus.Breakdown))
+		out = append(out, fc)
+	}
+	return out
+}
+
+// Fig14Table renders the study.
+func Fig14Table() *report.Table {
+	t := &report.Table{
+		Title:   "Figure 14: H-tree versus Bus (intra- vs inter-element time)",
+		Headers: []string{"Case", "Interconnect", "Intra-element", "Inter-element", "Inter share"},
+	}
+	for _, c := range Fig14() {
+		t.AddRow(c.Label, "H-tree", report.Seconds(IntraSec(c.HTree)),
+			report.Seconds(InterSec(c.HTree)), fmt.Sprintf("%.2f%%", c.HTreeInterShare*100))
+		t.AddRow(c.Label, "Bus", report.Seconds(IntraSec(c.Bus)),
+			report.Seconds(InterSec(c.Bus)), fmt.Sprintf("%.2f%%", c.BusInterShare*100))
+	}
+	t.AddNote("paper inter-element shares: no expansion 21.62%% (H-tree) vs 58.41%% (Bus); expansion 42.77%% vs 69.96%%")
+	return t
+}
+
+// HTreeTimeSavings returns the mean Bus/H-tree total-time ratio over the
+// Figure 14 cases (the paper's "approximately 2.16x time savings in
+// comparison to a bus architecture").
+func HTreeTimeSavings() float64 {
+	var sum float64
+	cases := Fig14()
+	for _, c := range cases {
+		sum += (IntraSec(c.Bus) + InterSec(c.Bus)) / (IntraSec(c.HTree) + InterSec(c.HTree))
+	}
+	return sum / float64(len(cases))
+}
+
+// ---------------------------------------------------------------------------
+// Headline numbers
+// ---------------------------------------------------------------------------
+
+// Headline computes the abstract's whole-paper averages: speedup and
+// energy savings of the four 28nm PIM configurations versus the fused
+// implementation on each of the three GPUs, then averaged.
+type HeadlineResult struct {
+	SpeedupVsGPU map[string]float64 // per GPU (fused impl), averaged over benchmarks and PIM configs
+	EnergyVsGPU  map[string]float64
+	AvgSpeedup   float64
+	AvgEnergy    float64
+}
+
+// Headline computes the summary numbers.
+func Headline() HeadlineResult {
+	rows := Fig11And12()
+	res := HeadlineResult{
+		SpeedupVsGPU: make(map[string]float64),
+		EnergyVsGPU:  make(map[string]float64),
+	}
+	gpus := []string{"Fused-1080Ti", "Fused-P100", "Fused-V100"}
+	for _, g := range gpus {
+		sp := AvgSpeedups(rows, g)
+		es := AvgEnergySavings(rows, g)
+		var s, e float64
+		for _, cfg := range chip.AllConfigs() {
+			s += sp[cfg.Name+"-28nm"]
+			e += es[cfg.Name+"-28nm"]
+		}
+		res.SpeedupVsGPU[g] = s / 4
+		res.EnergyVsGPU[g] = e / 4
+		res.AvgSpeedup += s / 4
+		res.AvgEnergy += e / 4
+	}
+	res.AvgSpeedup /= float64(len(gpus))
+	res.AvgEnergy /= float64(len(gpus))
+	return res
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wavepim/internal/dg/opcount"
+	"wavepim/internal/gpu"
+	"wavepim/internal/params"
+	"wavepim/internal/pim/chip"
+	"wavepim/internal/report"
+)
+
+// The Maxwell extension benchmark: the paper's Section 2.1 claims the
+// acoustic strategies carry to electromagnetic waves; this table runs the
+// claim through the whole evaluation pipeline — operation counts, the GPU
+// roofline, and the Wave-PIM timing simulator — for refinement levels 4
+// and 5 on every chip configuration.
+
+// MaxwellRow is one (level, chip) data point.
+type MaxwellRow struct {
+	Bench      opcount.Benchmark
+	Chip       string
+	Plan       string
+	Batches    int
+	PIMSec     float64
+	PIMEnergyJ float64
+	FusedV100  float64 // reference GPU time
+	Speedup    float64
+}
+
+// MaxwellExtension runs the study.
+func MaxwellExtension() []MaxwellRow {
+	var out []MaxwellRow
+	for _, ref := range []int{4, 5} {
+		b := opcount.Benchmark{Eq: opcount.Maxwell, Refinement: ref}
+		v100 := gpu.Model{Spec: params.TeslaV100, Impl: gpu.Fused}
+		gt := v100.RunTime(b, TimeSteps)
+		for _, cfg := range chip.AllConfigs() {
+			res := pimRun(b, cfg, true)
+			out = append(out, MaxwellRow{
+				Bench: b, Chip: cfg.Name,
+				Plan: res.Plan.Table5String(), Batches: res.Plan.Batches,
+				PIMSec: res.TotalSec, PIMEnergyJ: res.EnergyJ,
+				FusedV100: gt, Speedup: gt / res.TotalSec,
+			})
+		}
+	}
+	return out
+}
+
+// MaxwellTable renders the study.
+func MaxwellTable() *report.Table {
+	t := &report.Table{
+		Title: "Extension: Maxwell (electromagnetic) benchmarks through the full pipeline",
+		Headers: []string{"Benchmark", "Chip", "Plan", "Batches", "PIM time",
+			"PIM energy", "Fused-V100", "Speedup"},
+	}
+	for _, r := range MaxwellExtension() {
+		t.AddRow(r.Bench.Name(), r.Chip, r.Plan, fmt.Sprintf("%d", r.Batches),
+			report.Seconds(r.PIMSec), report.Joules(r.PIMEnergyJ),
+			report.Seconds(r.FusedV100), report.Ratio(r.Speedup))
+	}
+	t.AddNote("not in the paper's evaluation; realizes its Section 2.1 electromagnetic claim end to end")
+	return t
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wavepim/internal/dg"
+	"wavepim/internal/mesh"
+	"wavepim/internal/pim/isa"
+	"wavepim/internal/report"
+	"wavepim/internal/wavepim"
+)
+
+// OpMixResult reports the measured instruction mix of the compiled
+// Wave-PIM kernels — the empirical check of the paper's throughput
+// assumption ("assuming a workload containing 50% addition and 50%
+// multiplication operations", Section 7.1).
+type OpMixResult struct {
+	Kernel    string
+	Mix       isa.OpMix
+	ArithFrac float64 // arithmetic instructions / all instructions
+	MulFrac   float64 // multiplies / arithmetic instructions
+}
+
+// OpMixStudy compiles one full acoustic time-step's kernels (naive
+// layout, Riemann flux, paper-sized elements) and histograms the opcodes.
+func OpMixStudy() []OpMixResult {
+	plan := wavepim.Plan{Tech: wavepim.Naive, Layout: wavepim.AcousticOneBlock, SlotsPerElem: 1}
+	c := wavepim.NewCompiler(plan, 8, dg.RiemannFlux)
+
+	kernels := []struct {
+		name string
+		prog []isa.Instr
+	}{
+		{"Volume", c.VolumeOneBlock()},
+	}
+	var flux []isa.Instr
+	for f := mesh.Face(0); f < mesh.NumFaces; f++ {
+		flux = append(flux, c.FluxOneBlock(f)...)
+	}
+	kernels = append(kernels, struct {
+		name string
+		prog []isa.Instr
+	}{"Flux (6 faces)", flux})
+	kernels = append(kernels, struct {
+		name string
+		prog []isa.Instr
+	}{"Integration", c.IntegrationOneBlock(0)})
+
+	var out []OpMixResult
+	total := isa.OpMix{Counts: map[isa.Opcode]int{}}
+	for _, k := range kernels {
+		m := isa.Mix(k.prog)
+		a, mu := m.ArithShare()
+		out = append(out, OpMixResult{Kernel: k.name, Mix: m, ArithFrac: a, MulFrac: mu})
+		total.Add(m)
+	}
+	a, mu := total.ArithShare()
+	out = append(out, OpMixResult{Kernel: "Whole stage", Mix: total, ArithFrac: a, MulFrac: mu})
+	return out
+}
+
+// OpMixTable renders the study.
+func OpMixTable() *report.Table {
+	t := &report.Table{
+		Title: "Instruction mix of the compiled acoustic kernels (naive layout, Riemann flux)",
+		Headers: []string{"Kernel", "Instrs", "Add/Sub", "Mul", "GBcast/Pattern", "Bcast",
+			"Arith share", "Mul share"},
+	}
+	for _, r := range OpMixStudy() {
+		t.AddRow(r.Kernel,
+			fmt.Sprintf("%d", r.Mix.Total),
+			fmt.Sprintf("%d", r.Mix.Counts[isa.OpAdd]+r.Mix.Counts[isa.OpSub]),
+			fmt.Sprintf("%d", r.Mix.Counts[isa.OpMul]),
+			fmt.Sprintf("%d", r.Mix.Counts[isa.OpGroupBcast]+r.Mix.Counts[isa.OpPattern]),
+			fmt.Sprintf("%d", r.Mix.Counts[isa.OpBroadcast]),
+			fmt.Sprintf("%.1f%%", r.ArithFrac*100),
+			fmt.Sprintf("%.1f%%", r.MulFrac*100))
+	}
+	t.AddNote("the paper's throughput model assumes a 50%%/50%% add/mul arithmetic mix; the measured whole-stage mul share tests that assumption")
+	return t
+}

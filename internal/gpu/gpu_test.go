@@ -1,0 +1,140 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"wavepim/internal/dg/opcount"
+	"wavepim/internal/hostcpu"
+	"wavepim/internal/params"
+)
+
+// Section 3.1's published GPU-vs-CPU speedups, the model's calibration
+// targets: the reproduction must land within 2% on every cell.
+func TestSection31SpeedupsReproduced(t *testing.T) {
+	paper := map[int][3]float64{
+		4: {94.35, 100.25, 123.38},
+		5: {131.10, 223.95, 369.05},
+	}
+	specs := []params.GPUSpec{params.GTX1080Ti, params.TeslaP100, params.TeslaV100}
+	for ref, want := range paper {
+		b := opcount.Benchmark{Eq: opcount.Acoustic, Refinement: ref}
+		cpu := hostcpu.BaselineRunTime(b, params.TimeStepsPerRun)
+		for i, spec := range specs {
+			m := Model{Spec: spec, Impl: Unfused}
+			got := cpu / m.RunTime(b, params.TimeStepsPerRun)
+			if rel := math.Abs(got-want[i]) / want[i]; rel > 0.02 {
+				t.Errorf("level %d %s: speedup %.2f, paper %.2f (off %.1f%%)",
+					ref, spec.Name, got, want[i], rel*100)
+			}
+		}
+	}
+}
+
+// The paper's core profiling finding: the GPU runs are memory-bound, "even
+// for Tesla V100 GPUs, with 900GB/s of memory bandwidth".
+func TestGPUsAreMemoryBound(t *testing.T) {
+	for _, b := range opcount.AllBenchmarks() {
+		for _, m := range Baselines() {
+			if !m.MemoryBound(b) {
+				t.Errorf("%s on %s should be memory-bandwidth-bound", m.Name(), b.Name())
+			}
+		}
+	}
+}
+
+// Fused is faster than unfused on every device and benchmark (it exists to
+// "minimize the data movements").
+func TestFusedBeatsUnfused(t *testing.T) {
+	for _, b := range opcount.AllBenchmarks() {
+		for _, spec := range []params.GPUSpec{params.GTX1080Ti, params.TeslaP100, params.TeslaV100} {
+			u := Model{Spec: spec, Impl: Unfused}.RunTime(b, 64)
+			f := Model{Spec: spec, Impl: Fused}.RunTime(b, 64)
+			if f >= u {
+				t.Errorf("%s %s: fused %.3g >= unfused %.3g", spec.Name, b.Name(), f, u)
+			}
+		}
+	}
+}
+
+// Device ordering: V100 <= P100 <= 1080Ti in run time on every benchmark.
+func TestDeviceOrdering(t *testing.T) {
+	for _, b := range opcount.AllBenchmarks() {
+		ti := Model{Spec: params.GTX1080Ti, Impl: Unfused}.RunTime(b, 64)
+		p := Model{Spec: params.TeslaP100, Impl: Unfused}.RunTime(b, 64)
+		v := Model{Spec: params.TeslaV100, Impl: Unfused}.RunTime(b, 64)
+		if !(v <= p && p <= ti) {
+			t.Errorf("%s: ordering violated: V100=%.3g P100=%.3g 1080Ti=%.3g", b.Name(), v, p, ti)
+		}
+	}
+}
+
+// The V100's advantage over the 1080Ti grows with refinement level
+// (1.31x -> 2.82x in the paper).
+func TestV100AdvantageGrowsWithSize(t *testing.T) {
+	adv := func(ref int) float64 {
+		b := opcount.Benchmark{Eq: opcount.Acoustic, Refinement: ref}
+		ti := Model{Spec: params.GTX1080Ti, Impl: Unfused}.RunTime(b, 64)
+		v := Model{Spec: params.TeslaV100, Impl: Unfused}.RunTime(b, 64)
+		return ti / v
+	}
+	a4, a5 := adv(4), adv(5)
+	if a5 <= a4 {
+		t.Errorf("V100 advantage should grow: level4=%.2f level5=%.2f", a4, a5)
+	}
+	if math.Abs(a4-1.308) > 0.05 || math.Abs(a5-2.815) > 0.1 {
+		t.Errorf("V100/1080Ti advantages %.3f, %.3f; paper: 1.308, 2.815", a4, a5)
+	}
+}
+
+// Energy ordering: energy grows with benchmark size on a fixed device.
+func TestEnergyScalesWithWork(t *testing.T) {
+	m := Model{Spec: params.TeslaV100, Impl: Fused}
+	b4 := opcount.Benchmark{Eq: opcount.Acoustic, Refinement: 4}
+	b5 := opcount.Benchmark{Eq: opcount.Acoustic, Refinement: 5}
+	if m.Energy(b5, 64) <= m.Energy(b4, 64) {
+		t.Error("level-5 run must cost more energy than level-4")
+	}
+	if m.Energy(b4, 64) <= 0 {
+		t.Error("energy must be positive")
+	}
+}
+
+// Kernel-level behaviour: Integration is memory-bound with low arithmetic
+// intensity (it "does not scale so well"); Flux carries the divergence
+// penalty (it is "the most inefficient kernel").
+func TestKernelTimes(t *testing.T) {
+	b := opcount.Benchmark{Eq: opcount.Acoustic, Refinement: 4}
+	m := Model{Spec: params.TeslaV100, Impl: Unfused}
+	for k := opcount.Kernel(0); k < opcount.NumKernels; k++ {
+		if m.KernelTime(b, k) <= m.Spec.LaunchOverhead {
+			t.Errorf("kernel %v time not above launch overhead", k)
+		}
+	}
+	// Integration moves the most bytes per launch and so takes longest.
+	integ := m.KernelTime(b, opcount.KernelIntegration)
+	flux := m.KernelTime(b, opcount.KernelFlux)
+	if integ <= flux {
+		t.Errorf("Integration (%.3g) should exceed Flux (%.3g): it is memory-dominated", integ, flux)
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if got := (Model{Spec: params.GTX1080Ti, Impl: Unfused}).Name(); got != "Unfused-1080Ti" {
+		t.Errorf("name %q", got)
+	}
+	if got := (Model{Spec: params.TeslaV100, Impl: Fused}).Name(); got != "Fused-V100" {
+		t.Errorf("name %q", got)
+	}
+	if len(Baselines()) != 6 {
+		t.Error("want 6 GPU baselines")
+	}
+}
+
+func TestRunTimeLinearInSteps(t *testing.T) {
+	b := opcount.Benchmark{Eq: opcount.Acoustic, Refinement: 4}
+	m := Model{Spec: params.TeslaP100, Impl: Unfused}
+	if r := m.RunTime(b, 200) / m.RunTime(b, 100); math.Abs(r-2) > 1e-9 {
+		t.Errorf("run time not linear in steps: ratio %g", r)
+	}
+}

@@ -1,0 +1,58 @@
+package hostcpu
+
+import (
+	"testing"
+
+	"wavepim/internal/dg/opcount"
+	"wavepim/internal/params"
+)
+
+func TestBaselineRunTimePositiveAndOrdered(t *testing.T) {
+	var prev float64
+	for _, b := range opcount.AllBenchmarks() {
+		tt := BaselineRunTime(b, params.TimeStepsPerRun)
+		if tt <= 0 {
+			t.Fatalf("%s: nonpositive CPU time", b.Name())
+		}
+		_ = prev
+		prev = tt
+	}
+	// Bigger equations take longer at a fixed level.
+	ac := BaselineRunTime(opcount.Benchmark{Eq: opcount.Acoustic, Refinement: 4}, 64)
+	er := BaselineRunTime(opcount.Benchmark{Eq: opcount.ElasticRiemann, Refinement: 4}, 64)
+	if er <= ac {
+		t.Error("elastic-Riemann should take longer than acoustic on the CPU")
+	}
+}
+
+func TestLevel5LessEfficientThanLevel4(t *testing.T) {
+	// Level 5 runs at lower efficiency (cache thrashing), so its time grows
+	// superlinearly: more than 8x the level-4 time.
+	b4 := opcount.Benchmark{Eq: opcount.Acoustic, Refinement: 4}
+	b5 := opcount.Benchmark{Eq: opcount.Acoustic, Refinement: 5}
+	r := BaselineRunTime(b5, 64) / BaselineRunTime(b4, 64)
+	if r <= 8 {
+		t.Errorf("level5/level4 CPU time ratio %.2f, want > 8 (efficiency degradation)", r)
+	}
+}
+
+func TestBaselineEnergy(t *testing.T) {
+	b := opcount.Benchmark{Eq: opcount.Acoustic, Refinement: 4}
+	e := BaselineEnergy(b, 64)
+	want := BaselineRunTime(b, 64) * params.XeonPlatinum8160x2.PowerW
+	if e != want {
+		t.Errorf("energy %g want %g", e, want)
+	}
+}
+
+func TestHostPreprocessTime(t *testing.T) {
+	h := params.ARMCortexA72
+	got := HostPreprocessTime(100, 200)
+	want := (100*h.SqrtLatencySec + 200*h.InverseLatencySec) / float64(h.Cores)
+	if got != want {
+		t.Errorf("got %g want %g", got, want)
+	}
+	if HostPreprocessTime(0, 0) != 0 {
+		t.Error("zero work should cost zero time")
+	}
+}

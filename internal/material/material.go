@@ -1,0 +1,109 @@
+// Package material models the constant material properties of the wave
+// equations (Table 1): bulk modulus kappa and density rho for the acoustic
+// equation, Lame parameters lambda and mu plus density for the elastic one.
+// Materials are constant within an element (Section 5.1: "We consider
+// constant materials within an element").
+package material
+
+import "math"
+
+// Acoustic holds the acoustic material of one element.
+type Acoustic struct {
+	Kappa float64 // bulk modulus K
+	Rho   float64 // density
+}
+
+// SoundSpeed returns c = sqrt(kappa/rho).
+func (a Acoustic) SoundSpeed() float64 { return math.Sqrt(a.Kappa / a.Rho) }
+
+// Impedance returns Z = rho*c, the acoustic impedance used by the Riemann
+// flux solver.
+func (a Acoustic) Impedance() float64 { return a.Rho * a.SoundSpeed() }
+
+// Elastic holds the elastic material of one element.
+type Elastic struct {
+	Lambda float64 // first Lame parameter
+	Mu     float64 // shear modulus
+	Rho    float64 // density
+}
+
+// PWaveSpeed returns cp = sqrt((lambda+2mu)/rho).
+func (e Elastic) PWaveSpeed() float64 { return math.Sqrt((e.Lambda + 2*e.Mu) / e.Rho) }
+
+// SWaveSpeed returns cs = sqrt(mu/rho).
+func (e Elastic) SWaveSpeed() float64 { return math.Sqrt(e.Mu / e.Rho) }
+
+// PImpedance returns Zp = rho*cp.
+func (e Elastic) PImpedance() float64 { return e.Rho * e.PWaveSpeed() }
+
+// SImpedance returns Zs = rho*cs.
+func (e Elastic) SImpedance() float64 { return e.Rho * e.SWaveSpeed() }
+
+// AcousticField assigns an acoustic material to every element.
+type AcousticField struct {
+	ByElem []Acoustic
+}
+
+// UniformAcoustic builds a field with the same material everywhere.
+func UniformAcoustic(numElem int, m Acoustic) *AcousticField {
+	f := &AcousticField{ByElem: make([]Acoustic, numElem)}
+	for i := range f.ByElem {
+		f.ByElem[i] = m
+	}
+	return f
+}
+
+// MaxSoundSpeed returns the fastest wave speed in the field, used for the
+// CFL time-step bound.
+func (f *AcousticField) MaxSoundSpeed() float64 {
+	var c float64
+	for _, m := range f.ByElem {
+		if s := m.SoundSpeed(); s > c {
+			c = s
+		}
+	}
+	return c
+}
+
+// Dielectric holds the electromagnetic material of a linear, isotropic,
+// source-free medium — the Maxwell extension the paper's Section 2.1
+// points at.
+type Dielectric struct {
+	Eps float64 // permittivity
+	Mu  float64 // permeability
+}
+
+// LightSpeed returns c = 1/sqrt(eps*mu).
+func (d Dielectric) LightSpeed() float64 { return 1 / math.Sqrt(d.Eps*d.Mu) }
+
+// Impedance returns eta = sqrt(mu/eps), the wave impedance the Maxwell
+// Riemann flux uses.
+func (d Dielectric) Impedance() float64 { return math.Sqrt(d.Mu / d.Eps) }
+
+// Vacuum is the natural-units free-space dielectric.
+var Vacuum = Dielectric{Eps: 1, Mu: 1}
+
+// ElasticField assigns an elastic material to every element.
+type ElasticField struct {
+	ByElem []Elastic
+}
+
+// UniformElastic builds a field with the same material everywhere.
+func UniformElastic(numElem int, m Elastic) *ElasticField {
+	f := &ElasticField{ByElem: make([]Elastic, numElem)}
+	for i := range f.ByElem {
+		f.ByElem[i] = m
+	}
+	return f
+}
+
+// MaxWaveSpeed returns the fastest (P-)wave speed in the field.
+func (f *ElasticField) MaxWaveSpeed() float64 {
+	var c float64
+	for _, m := range f.ByElem {
+		if s := m.PWaveSpeed(); s > c {
+			c = s
+		}
+	}
+	return c
+}

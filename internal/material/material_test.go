@@ -1,0 +1,84 @@
+package material
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAcousticDerivedQuantities(t *testing.T) {
+	a := Acoustic{Kappa: 2.25, Rho: 1.0}
+	if c := a.SoundSpeed(); math.Abs(c-1.5) > 1e-15 {
+		t.Errorf("c = %g want 1.5", c)
+	}
+	if z := a.Impedance(); math.Abs(z-1.5) > 1e-15 {
+		t.Errorf("Z = %g want 1.5", z)
+	}
+}
+
+// Property: Z = rho * c and c^2 = kappa/rho for any positive material.
+func TestAcousticRelationsProperty(t *testing.T) {
+	f := func(k, r uint16) bool {
+		a := Acoustic{Kappa: 0.1 + float64(k%1000), Rho: 0.1 + float64(r%1000)}
+		c := a.SoundSpeed()
+		return math.Abs(a.Impedance()-a.Rho*c) < 1e-9*(1+a.Impedance()) &&
+			math.Abs(c*c-a.Kappa/a.Rho) < 1e-9*(1+c*c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElasticDerivedQuantities(t *testing.T) {
+	e := Elastic{Lambda: 2, Mu: 1, Rho: 1}
+	if cp := e.PWaveSpeed(); math.Abs(cp-2) > 1e-15 {
+		t.Errorf("cp = %g", cp)
+	}
+	if cs := e.SWaveSpeed(); math.Abs(cs-1) > 1e-15 {
+		t.Errorf("cs = %g", cs)
+	}
+	// P-waves are always faster than S-waves for lambda > 0.
+	if e.PImpedance() <= e.SImpedance() {
+		t.Error("Zp should exceed Zs")
+	}
+}
+
+func TestElasticSpeedOrderingProperty(t *testing.T) {
+	f := func(l, m, r uint16) bool {
+		e := Elastic{Lambda: float64(l%100) + 0.01, Mu: float64(m%100) + 0.01, Rho: float64(r%100) + 0.01}
+		return e.PWaveSpeed() > e.SWaveSpeed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDielectric(t *testing.T) {
+	if Vacuum.LightSpeed() != 1 || Vacuum.Impedance() != 1 {
+		t.Error("vacuum in natural units")
+	}
+	d := Dielectric{Eps: 4, Mu: 1}
+	if c := d.LightSpeed(); math.Abs(c-0.5) > 1e-15 {
+		t.Errorf("c = %g want 0.5", c)
+	}
+}
+
+func TestUniformFields(t *testing.T) {
+	af := UniformAcoustic(10, Acoustic{Kappa: 1, Rho: 2})
+	if len(af.ByElem) != 10 || af.ByElem[7].Rho != 2 {
+		t.Error("UniformAcoustic wrong")
+	}
+	if af.MaxSoundSpeed() != af.ByElem[0].SoundSpeed() {
+		t.Error("MaxSoundSpeed of uniform field")
+	}
+	// Heterogeneous: the max is the fastest element.
+	af.ByElem[3] = Acoustic{Kappa: 100, Rho: 1}
+	if af.MaxSoundSpeed() != 10 {
+		t.Errorf("MaxSoundSpeed = %g want 10", af.MaxSoundSpeed())
+	}
+	ef := UniformElastic(4, Elastic{Lambda: 2, Mu: 1, Rho: 1})
+	ef.ByElem[1] = Elastic{Lambda: 14, Mu: 1, Rho: 1}
+	if ef.MaxWaveSpeed() != 4 {
+		t.Errorf("MaxWaveSpeed = %g want 4", ef.MaxWaveSpeed())
+	}
+}

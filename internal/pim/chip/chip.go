@@ -1,0 +1,194 @@
+// Package chip assembles memory blocks and tiles into the four Wave-PIM
+// chip configurations of the evaluation (512 MB, 2 GB, 8 GB, 16 GB) and
+// implements the Table 3 power model. A chip is blocks grouped into
+// 256-block (32 MB) tiles, each tile with its own H-tree or Bus
+// interconnect, plus a central controller and an ARM host (Section 4.1,
+// Section 7.1).
+package chip
+
+import (
+	"fmt"
+
+	"wavepim/internal/params"
+	"wavepim/internal/pim/intercon"
+	"wavepim/internal/pim/xbar"
+)
+
+// InterconnectKind selects the tile interconnect.
+type InterconnectKind int
+
+const (
+	HTree InterconnectKind = iota
+	Bus
+)
+
+func (k InterconnectKind) String() string {
+	if k == HTree {
+		return "htree"
+	}
+	return "bus"
+}
+
+// Config describes one chip configuration.
+type Config struct {
+	Name          string
+	CapacityBytes int64
+	Interconnect  InterconnectKind
+	Fanout        int // H-tree fanout (ignored for Bus)
+}
+
+// The four evaluation capacities (Table 2's "512MB, 2GB, 8GB, 16GB").
+func Config512MB() Config {
+	return Config{Name: "PIM-512MB", CapacityBytes: 512 << 20, Interconnect: HTree, Fanout: 4}
+}
+func Config2GB() Config {
+	return Config{Name: "PIM-2GB", CapacityBytes: 2 << 30, Interconnect: HTree, Fanout: 4}
+}
+func Config8GB() Config {
+	return Config{Name: "PIM-8GB", CapacityBytes: 8 << 30, Interconnect: HTree, Fanout: 4}
+}
+func Config16GB() Config {
+	return Config{Name: "PIM-16GB", CapacityBytes: 16 << 30, Interconnect: HTree, Fanout: 4}
+}
+
+// AllConfigs returns the four evaluation configurations in ascending size.
+func AllConfigs() []Config {
+	return []Config{Config512MB(), Config2GB(), Config8GB(), Config16GB()}
+}
+
+// BlockBytes is the capacity of one 1 Mb block in bytes (128 KB).
+const BlockBytes = params.BlockBits / 8
+
+// NumBlocks is the total memory blocks on the chip.
+func (c Config) NumBlocks() int { return int(c.CapacityBytes / BlockBytes) }
+
+// NumTiles is the number of 256-block tiles.
+func (c Config) NumTiles() int { return c.NumBlocks() / params.BlocksPerTile }
+
+// MaxParallelRows is the chip-wide row parallelism (16M for 2 GB).
+func (c Config) MaxParallelRows() int64 { return params.MaxParallelRows(c.CapacityBytes) }
+
+// Validate checks the configuration invariants.
+func (c Config) Validate() error {
+	if c.CapacityBytes <= 0 || c.CapacityBytes%(int64(BlockBytes)*params.BlocksPerTile) != 0 {
+		return fmt.Errorf("chip: capacity %d is not a whole number of 32MB tiles", c.CapacityBytes)
+	}
+	if c.Interconnect == HTree && c.Fanout < 2 {
+		return fmt.Errorf("chip: H-tree fanout %d < 2", c.Fanout)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Power model (Table 3)
+// ---------------------------------------------------------------------------
+
+// Power is the static power breakdown of a chip, mirroring Table 3's rows.
+type Power struct {
+	CrossbarArrayW float64 // one 1 Mb array
+	SenseAmpW      float64 // per block
+	DecoderW       float64 // per block
+	MemoryBlockW   float64 // per block total
+	TileMemoryW    float64 // 256 crossbar arrays
+	TileSwitchW    float64 // interconnect switches of one tile
+	TileW          float64 // tile total
+	ControllerW    float64 // central controller
+	HostW          float64 // CPU host
+	TotalW         float64 // whole system
+}
+
+// PowerModel computes the Table 3 breakdown for a configuration. Table 3's
+// "Tile Memory" row counts the 256 crossbar arrays (256 x 6.14 mW =
+// 1.57 W); sense amps and decoders are reported per block but amortized
+// into the same tile budget by the paper's rounding.
+func PowerModel(c Config) Power {
+	p := Power{
+		CrossbarArrayW: params.PowerCrossbarArrayW,
+		SenseAmpW:      params.PowerSenseAmpW,
+		DecoderW:       params.PowerDecoderW,
+		MemoryBlockW:   params.PowerMemoryBlockW,
+		ControllerW:    params.PowerCentralCtrlW,
+		HostW:          params.PowerCPUHostW,
+	}
+	p.TileMemoryW = params.PowerCrossbarArrayW * params.BlocksPerTile
+	switch c.Interconnect {
+	case HTree:
+		p.TileSwitchW = intercon.NewHTree(params.BlocksPerTile, c.Fanout).LeakagePowerW()
+	case Bus:
+		p.TileSwitchW = params.PowerBusSwitchW
+	}
+	p.TileW = p.TileMemoryW + p.TileSwitchW
+	p.TotalW = float64(c.NumTiles())*p.TileW + p.ControllerW + p.HostW
+	return p
+}
+
+// SystemPowerW returns the full platform power during a run: the chip's
+// static power plus the 900 GB/s HBM2 off-chip memory (Section 7.1).
+func SystemPowerW(c Config) float64 {
+	return PowerModel(c).TotalW + params.OffChipDRAMPowerW
+}
+
+// ---------------------------------------------------------------------------
+// Functional chip
+// ---------------------------------------------------------------------------
+
+// Chip is an instantiated (functional or timing) chip: lazily allocated
+// blocks — a 16 GB chip has 131072 blocks, so cell arrays materialize only
+// when touched — grouped into tiles that each own an interconnect.
+type Chip struct {
+	Config Config
+	blocks map[int]*xbar.Block
+	topos  []intercon.Topology // one per tile
+}
+
+// New instantiates a chip.
+func New(c Config) (*Chip, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	ch := &Chip{Config: c, blocks: make(map[int]*xbar.Block)}
+	ch.topos = make([]intercon.Topology, c.NumTiles())
+	for i := range ch.topos {
+		switch c.Interconnect {
+		case HTree:
+			ch.topos[i] = intercon.NewHTree(params.BlocksPerTile, c.Fanout)
+		case Bus:
+			ch.topos[i] = intercon.NewBus(params.BlocksPerTile)
+		}
+	}
+	return ch, nil
+}
+
+// Block returns block id, allocating it on first use.
+func (ch *Chip) Block(id int) *xbar.Block {
+	if id < 0 || id >= ch.Config.NumBlocks() {
+		panic(fmt.Sprintf("chip: block %d out of range [0,%d)", id, ch.Config.NumBlocks()))
+	}
+	b, ok := ch.blocks[id]
+	if !ok {
+		b = xbar.New(id)
+		ch.blocks[id] = b
+	}
+	return b
+}
+
+// TileOf returns the tile index of a block.
+func (ch *Chip) TileOf(blockID int) int { return blockID / params.BlocksPerTile }
+
+// LocalID returns a block's index within its tile.
+func (ch *Chip) LocalID(blockID int) int { return blockID % params.BlocksPerTile }
+
+// Topology returns the interconnect of a tile.
+func (ch *Chip) Topology(tile int) intercon.Topology { return ch.topos[tile] }
+
+// AllocatedBlocks returns how many blocks have been materialized.
+func (ch *Chip) AllocatedBlocks() int { return len(ch.blocks) }
+
+// TotalBlockStats sums the stats of all materialized blocks.
+func (ch *Chip) TotalBlockStats() xbar.Stats {
+	var s xbar.Stats
+	for _, b := range ch.blocks {
+		s.Add(b.Stats)
+	}
+	return s
+}

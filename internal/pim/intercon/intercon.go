@@ -1,0 +1,251 @@
+// Package intercon models the two inter-block interconnects of Section 4.2:
+// the H-tree (a fanout-4 switch tree per memory tile, 85 switches for a
+// 256-block tile) and the Bus (one central switch). The essential
+// difference the paper evaluates — transfers through disjoint H-tree
+// subtrees proceed in parallel while every bus transfer serializes through
+// the single switch — is captured by a contention-aware list scheduler.
+package intercon
+
+import (
+	"fmt"
+
+	"wavepim/internal/params"
+)
+
+// Transfer is one inter-block payload movement (a row-buffer's worth or a
+// word subset of it).
+type Transfer struct {
+	Src, Dst int // block indices (leaves)
+	Words    int // 32-bit words moved
+}
+
+// Topology routes transfers between leaf blocks.
+type Topology interface {
+	// Name returns "htree" or "bus".
+	Name() string
+	// Path returns the switch IDs a src->dst transfer traverses, in order.
+	// An empty path means src == dst (no interconnect involvement).
+	Path(src, dst int) []int
+	// SwitchCount is the number of switches in the topology.
+	SwitchCount() int
+	// LeakagePowerW is the static power of all switches.
+	LeakagePowerW() float64
+	// Leaves is the number of leaf blocks.
+	Leaves() int
+	// HopLatency is the per-payload per-hop latency: H-tree switches span
+	// a fanout-sized neighborhood, while the single bus switch drives
+	// wires across the whole tile and is correspondingly slower.
+	HopLatency() float64
+}
+
+// ---------------------------------------------------------------------------
+// H-tree
+// ---------------------------------------------------------------------------
+
+// HTree is the paper's fanout-k switch tree. Level 0 switches connect
+// groups of fanout adjacent blocks (the S0 of Figure 3); each higher level
+// connects fanout lower switches, up to a single root.
+type HTree struct {
+	leaves int
+	fanout int
+	// levelBase[l] is the global switch ID of the first level-l switch;
+	// levelCount[l] is how many switches that level has.
+	levelBase  []int
+	levelCount []int
+}
+
+// NewHTree builds an H-tree over leaves blocks with the given fanout
+// (the paper uses 4 but notes "the number of children of a tree node does
+// not have to be 4").
+func NewHTree(leaves, fanout int) *HTree {
+	if leaves < 1 || fanout < 2 {
+		panic(fmt.Sprintf("intercon: invalid H-tree leaves=%d fanout=%d", leaves, fanout))
+	}
+	h := &HTree{leaves: leaves, fanout: fanout}
+	n := leaves
+	base := 0
+	for n > 1 {
+		n = (n + fanout - 1) / fanout
+		h.levelBase = append(h.levelBase, base)
+		h.levelCount = append(h.levelCount, n)
+		base += n
+	}
+	if len(h.levelBase) == 0 { // single leaf: degenerate, one root switch
+		h.levelBase = []int{0}
+		h.levelCount = []int{1}
+	}
+	return h
+}
+
+// Name implements Topology.
+func (h *HTree) Name() string { return "htree" }
+
+// Leaves implements Topology.
+func (h *HTree) Leaves() int { return h.leaves }
+
+// SwitchCount implements Topology. For the paper's 256-block tile with
+// fanout 4 this is 64+16+4+1 = 85, matching Table 3.
+func (h *HTree) SwitchCount() int {
+	var n int
+	for _, c := range h.levelCount {
+		n += c
+	}
+	return n
+}
+
+// LeakagePowerW scales the published 85-switch tile power to this tree's
+// switch count.
+func (h *HTree) LeakagePowerW() float64 {
+	perSwitch := params.PowerHTreeSwitchesW / params.HTreeSwitchesPerTile
+	return perSwitch * float64(h.SwitchCount())
+}
+
+// HopLatency implements Topology.
+func (h *HTree) HopLatency() float64 { return params.SwitchHopLatencySec }
+
+// switchAt returns the global ID of the level-l ancestor switch of a leaf.
+func (h *HTree) switchAt(leaf, level int) int {
+	div := 1
+	for i := 0; i <= level; i++ {
+		div *= h.fanout
+	}
+	return h.levelBase[level] + leaf/div
+}
+
+// Path implements Topology: climb from src to the lowest common ancestor,
+// then descend to dst. The Figure 3 walkthrough (Block 0 to Block 5 via
+// D0->D1->D2->D3 through S0, S1, S0') is reproduced exactly.
+func (h *HTree) Path(src, dst int) []int {
+	if src < 0 || src >= h.leaves || dst < 0 || dst >= h.leaves {
+		panic(fmt.Sprintf("intercon: leaf out of range: %d or %d (leaves=%d)", src, dst, h.leaves))
+	}
+	if src == dst {
+		return nil
+	}
+	// Find LCA level: lowest level where both map to the same switch.
+	lca := 0
+	for h.switchAt(src, lca) != h.switchAt(dst, lca) {
+		lca++
+	}
+	var path []int
+	for l := 0; l < lca; l++ {
+		path = append(path, h.switchAt(src, l))
+	}
+	path = append(path, h.switchAt(src, lca))
+	for l := lca - 1; l >= 0; l-- {
+		path = append(path, h.switchAt(dst, l))
+	}
+	return path
+}
+
+// ---------------------------------------------------------------------------
+// Bus
+// ---------------------------------------------------------------------------
+
+// Bus is the single-switch alternative: cheap and low-leakage, but every
+// transfer serializes through switch 0.
+type Bus struct {
+	leaves int
+}
+
+// NewBus builds a bus over leaves blocks.
+func NewBus(leaves int) *Bus {
+	if leaves < 1 {
+		panic("intercon: bus needs at least one leaf")
+	}
+	return &Bus{leaves: leaves}
+}
+
+// Name implements Topology.
+func (b *Bus) Name() string { return "bus" }
+
+// Leaves implements Topology.
+func (b *Bus) Leaves() int { return b.leaves }
+
+// SwitchCount implements Topology.
+func (b *Bus) SwitchCount() int { return 1 }
+
+// LeakagePowerW implements Topology (Table 3's 17.2 mW bus switch).
+func (b *Bus) LeakagePowerW() float64 { return params.PowerBusSwitchW }
+
+// HopLatency implements Topology: the central bus switch drives
+// tile-spanning wires, so each payload beat is slower than an H-tree
+// switch's neighborhood hop.
+func (b *Bus) HopLatency() float64 { return params.BusHopPenalty * params.SwitchHopLatencySec }
+
+// Path implements Topology.
+func (b *Bus) Path(src, dst int) []int {
+	if src < 0 || src >= b.leaves || dst < 0 || dst >= b.leaves {
+		panic(fmt.Sprintf("intercon: leaf out of range: %d or %d (leaves=%d)", src, dst, b.leaves))
+	}
+	if src == dst {
+		return nil
+	}
+	return []int{0}
+}
+
+// ---------------------------------------------------------------------------
+// Contention-aware scheduling
+// ---------------------------------------------------------------------------
+
+// Span records when one transfer occupied the interconnect.
+type Span struct {
+	Transfer Transfer
+	Start    float64
+	End      float64
+	Hops     int
+}
+
+// Schedule is the result of scheduling a batch of transfers.
+type Schedule struct {
+	Spans    []Span
+	Makespan float64 // time until the last transfer completes
+	EnergyJ  float64 // dynamic switching energy
+	Words    int64   // total words moved
+}
+
+// ScheduleBatch schedules the transfers in order with greedy list
+// scheduling under store-and-forward pipelining: the payload stream
+// occupies switch i of its route for payloads hop-cycles starting one
+// hop-cycle after switch i-1, so a switch is released as soon as the
+// stream has passed through it. Disjoint H-tree routes overlap fully; bus
+// routes always share switch 0 and therefore serialize — the Section
+// 4.2.2 behaviour ("the bus switch processes these transmissions
+// sequentially").
+func ScheduleBatch(topo Topology, batch []Transfer) Schedule {
+	free := make(map[int]float64)
+	var out Schedule
+	// Per-transfer spans are kept for inspection on small batches only;
+	// large timing-mode batches (hundreds of thousands of transfers) skip
+	// them to bound memory.
+	recordSpans := len(batch) <= 4096
+	hop := topo.HopLatency()
+	for _, tr := range batch {
+		path := topo.Path(tr.Src, tr.Dst)
+		if len(path) == 0 {
+			continue
+		}
+		payloads := (tr.Words + params.PayloadWords - 1) / params.PayloadWords
+		occupy := float64(payloads) * hop
+		// Earliest start such that every switch i is free at start + i*hop.
+		var start float64
+		for i, s := range path {
+			if t := free[s] - float64(i)*hop; t > start {
+				start = t
+			}
+		}
+		for i, s := range path {
+			free[s] = start + float64(i)*hop + occupy
+		}
+		end := start + float64(len(path)-1)*hop + occupy
+		if recordSpans {
+			out.Spans = append(out.Spans, Span{Transfer: tr, Start: start, End: end, Hops: len(path)})
+		}
+		if end > out.Makespan {
+			out.Makespan = end
+		}
+		out.EnergyJ += float64(tr.Words*len(path)) * params.SwitchHopEnergyJ
+		out.Words += int64(tr.Words)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package intercon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randBatch builds a random transfer batch over a 64-leaf topology.
+func randBatch(r *rand.Rand, n int) []Transfer {
+	batch := make([]Transfer, n)
+	for i := range batch {
+		src := r.Intn(64)
+		dst := r.Intn(64)
+		for dst == src {
+			dst = r.Intn(64)
+		}
+		batch[i] = Transfer{Src: src, Dst: dst, Words: 1 + r.Intn(256)}
+	}
+	return batch
+}
+
+// singleDur prices one transfer alone.
+func singleDur(topo Topology, tr Transfer) float64 {
+	return ScheduleBatch(topo, []Transfer{tr}).Makespan
+}
+
+// Property: the makespan is bounded below by the longest individual
+// transfer and above by the fully serial sum.
+func TestScheduleMakespanBounds(t *testing.T) {
+	topos := []Topology{NewHTree(64, 4), NewBus(64)}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		batch := randBatch(r, 1+r.Intn(20))
+		for _, topo := range topos {
+			s := ScheduleBatch(topo, batch)
+			var longest, serial float64
+			for _, tr := range batch {
+				d := singleDur(topo, tr)
+				serial += d
+				if d > longest {
+					longest = d
+				}
+			}
+			if s.Makespan < longest-1e-15 || s.Makespan > serial+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy is order-independent and additive (it counts physical
+// word-hops, not scheduling luck).
+func TestScheduleEnergyOrderIndependent(t *testing.T) {
+	topo := NewHTree(64, 4)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		batch := randBatch(r, 2+r.Intn(10))
+		e1 := ScheduleBatch(topo, batch).EnergyJ
+		// Reverse the order.
+		rev := make([]Transfer, len(batch))
+		for i, tr := range batch {
+			rev[len(batch)-1-i] = tr
+		}
+		e2 := ScheduleBatch(topo, rev).EnergyJ
+		var sum float64
+		for _, tr := range batch {
+			sum += ScheduleBatch(topo, []Transfer{tr}).EnergyJ
+		}
+		return closeRel(e1, e2, 1e-12) && closeRel(e1, sum, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func closeRel(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= tol*(1+m)
+}
+
+// Property: adding a transfer never shrinks the makespan (work
+// monotonicity under the greedy scheduler).
+func TestScheduleMonotoneInWork(t *testing.T) {
+	topo := NewBus(64)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		batch := randBatch(r, 1+r.Intn(10))
+		base := ScheduleBatch(topo, batch).Makespan
+		more := ScheduleBatch(topo, append(batch, randBatch(r, 1)...)).Makespan
+		return more >= base-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on the bus, the makespan is exactly the serial sum of
+// occupancies (one switch, full serialization).
+func TestBusMakespanIsSerialSum(t *testing.T) {
+	topo := NewBus(64)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		batch := randBatch(r, 1+r.Intn(12))
+		s := ScheduleBatch(topo, batch)
+		var sum float64
+		for _, tr := range batch {
+			sum += singleDur(topo, tr)
+		}
+		return closeRel(s.Makespan, sum, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: H-tree path lengths are symmetric in distance classes — blocks
+// in the same fanout group have 1-switch paths; the path length never
+// exceeds 2*depth - 1.
+func TestHTreePathLengthBounds(t *testing.T) {
+	h := NewHTree(256, 4)
+	maxLen := 2*4 - 1 // depth 4 tree over 256 leaves
+	f := func(a, b uint8) bool {
+		src, dst := int(a), int(b)
+		if src == dst {
+			return true
+		}
+		p := h.Path(src, dst)
+		if len(p) < 1 || len(p) > maxLen {
+			return false
+		}
+		if src/4 == dst/4 && len(p) != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package nor implements the digital-PIM arithmetic substrate of Section
+// 2.3: memristor crossbars compute with sequences of NOR operations
+// ("arithmetic operations like addition and multiplication are achieved by
+// performing NOR operations sequentially"). Every arithmetic block in this
+// package — integer adders, shifters, multipliers, and full IEEE-754
+// float32 addition and multiplication — is built from a single NOR gate
+// primitive, and a Circuit tracks how many NOR evaluations and how many
+// output-cell switches (set/reset) a computation performed, which is what
+// the energy model consumes.
+//
+// Two cost views exist and are deliberately different:
+//
+//   - The *functional* view here counts every NOR gate evaluation. A
+//     crossbar executes one NOR per column per step but has CellsPerRow
+//     columns working in parallel, so gate count is a proxy for energy,
+//     not latency.
+//   - The *timing* view (params.NORStepsFPAdd32 / NORStepsFPMul32) counts
+//     sequential NOR steps of the optimized in-array schedule and is what
+//     the simulator charges as latency.
+package nor
+
+import "wavepim/internal/params"
+
+// Stats accumulates the physical work performed by a circuit.
+type Stats struct {
+	NOREvals int64 // NOR gate evaluations
+	Sets     int64 // output cells switched Roff -> Ron ("1" results)
+	Resets   int64 // output cell initializations (every NOR pre-resets its output)
+}
+
+// Energy returns the dynamic energy of the accumulated operations, using
+// the Table 4 per-event energies.
+func (s Stats) Energy() float64 {
+	return float64(s.NOREvals)*params.ENORJoules +
+		float64(s.Sets)*params.ESetJoules +
+		float64(s.Resets)*params.EResetJoules
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.NOREvals += o.NOREvals
+	s.Sets += o.Sets
+	s.Resets += o.Resets
+}
+
+// Circuit evaluates NOR gates and records Stats. The zero value is ready to
+// use.
+type Circuit struct {
+	Stats Stats
+}
+
+// NOR is the primitive: output is true iff every input is false. In the
+// crossbar, the output memristor is initialized to Ron ("1") and switches
+// to Roff if any input is "1"; reading the convention of Section 2.3 as a
+// logical NOR. Each evaluation costs one reset (initialization) and, if the
+// result is 1, one set.
+func (c *Circuit) NOR(in ...bool) bool {
+	c.Stats.NOREvals++
+	c.Stats.Resets++
+	for _, b := range in {
+		if b {
+			return false
+		}
+	}
+	c.Stats.Sets++
+	return true
+}
+
+// nor1 and nor2 are allocation-free fast paths for the fixed-arity gates.
+func (c *Circuit) nor1(a bool) bool {
+	c.Stats.NOREvals++
+	c.Stats.Resets++
+	if a {
+		return false
+	}
+	c.Stats.Sets++
+	return true
+}
+
+func (c *Circuit) nor2(a, b bool) bool {
+	c.Stats.NOREvals++
+	c.Stats.Resets++
+	if a || b {
+		return false
+	}
+	c.Stats.Sets++
+	return true
+}
+
+// NOT is NOR with one input.
+func (c *Circuit) NOT(a bool) bool { return c.nor1(a) }
+
+// OR is NOT(NOR(a,b)).
+func (c *Circuit) OR(a, b bool) bool { return c.nor1(c.nor2(a, b)) }
+
+// AND is NOR(NOT a, NOT b).
+func (c *Circuit) AND(a, b bool) bool { return c.nor2(c.nor1(a), c.nor1(b)) }
+
+// XOR from five NORs: NOR(NOR(a,b), NOR(NOT a, NOT b)).
+func (c *Circuit) XOR(a, b bool) bool {
+	return c.nor2(c.nor2(a, b), c.nor2(c.nor1(a), c.nor1(b)))
+}
+
+// MUX returns a if sel is false, b if sel is true.
+func (c *Circuit) MUX(sel, a, b bool) bool {
+	return c.OR(c.AND(c.NOT(sel), a), c.AND(sel, b))
+}
+
+// FullAdder returns (sum, carry) of a + b + cin.
+func (c *Circuit) FullAdder(a, b, cin bool) (sum, carry bool) {
+	axb := c.XOR(a, b)
+	sum = c.XOR(axb, cin)
+	carry = c.OR(c.AND(a, b), c.AND(axb, cin))
+	return
+}
+
+// Bits is a little-endian bit vector (Bits[0] is the LSB).
+type Bits []bool
+
+// BitsFromUint converts the low n bits of v.
+func BitsFromUint(v uint64, n int) Bits {
+	b := make(Bits, n)
+	for i := 0; i < n; i++ {
+		b[i] = v>>uint(i)&1 == 1
+	}
+	return b
+}
+
+// Uint converts back to an integer (panics if len > 64).
+func (b Bits) Uint() uint64 {
+	if len(b) > 64 {
+		panic("nor: Bits longer than 64")
+	}
+	var v uint64
+	for i, bit := range b {
+		if bit {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Clone copies the bit vector.
+func (b Bits) Clone() Bits { return append(Bits(nil), b...) }

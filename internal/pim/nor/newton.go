@@ -1,0 +1,101 @@
+package nor
+
+// In-array reciprocal and square root via Newton-Raphson iteration, built
+// from the gate-level FP32 add/mul of this package.
+//
+// The paper offloads these operations to the host CPU and serves the
+// results through look-up tables (Section 4.3: "complicated arithmetic
+// operations, such as square root and inverse operations, are offloaded
+// to the host CPU"). This file exists to *quantify* that design choice:
+// executing them in-array is possible — everything below is NOR-buildable
+// — but costs an order of magnitude more NOR steps than a basic
+// operation, which is exactly why a LUT fetch (three row operations) wins
+// when the number of distinct operands is moderate. The ablation bench in
+// bench_test.go reports the measured cost ratio.
+
+const (
+	// RecipIterations of Newton-Raphson x_{n+1} = x_n (2 - d x_n) reach
+	// full float32 precision from the seed below (error squares every
+	// iteration).
+	RecipIterations = 4
+	// RsqrtIterations for x_{n+1} = x_n (1.5 - 0.5 d x_n^2).
+	RsqrtIterations = 4
+)
+
+const (
+	fpOne  = 0x3F800000 // 1.0f
+	fpTwo  = 0x40000000 // 2.0f
+	fpHalf = 0x3F000000 // 0.5f
+	fp3o2  = 0x3FC00000 // 1.5f
+)
+
+// negate flips the sign bit (free in hardware: a single NOT on the sign
+// cell).
+func (c *Circuit) negate(x uint32) uint32 {
+	c.Stats.NOREvals++ // one NOT on the sign bit
+	c.Stats.Resets++
+	return x ^ 0x80000000
+}
+
+// recipSeed produces the classic exponent-flip initial guess for 1/d by
+// integer subtraction from a magic constant — one bit-serial subtraction
+// in the array.
+func (c *Circuit) recipSeed(d uint32) uint32 {
+	diff, _ := c.SubBits(BitsFromUint(0x7EF311C3, 32), BitsFromUint(uint64(d), 32))
+	return uint32(diff.Uint())
+}
+
+// RecipFP32 computes 1/d with Newton-Raphson on the gate-level datapath.
+// Valid for positive normal d (the material constants the paper's flux
+// preprocessing needs); it does not handle zero, infinity or NaN specially.
+func (c *Circuit) RecipFP32(d uint32) uint32 {
+	x := c.recipSeed(d)
+	for i := 0; i < RecipIterations; i++ {
+		dx := c.MulFP32(d, x)
+		t := c.AddFP32(fpTwo, c.negate(dx)) // 2 - d*x
+		x = c.MulFP32(x, t)
+	}
+	return x
+}
+
+// rsqrtSeed is the famous inverse-square-root exponent hack.
+func (c *Circuit) rsqrtSeed(d uint32) uint32 {
+	// 0x5F3759DF - (d >> 1), both gate-level.
+	shifted, _ := c.ShiftRightBits(BitsFromUint(uint64(d), 32), BitsFromUint(1, 1))
+	diff, _ := c.SubBits(BitsFromUint(0x5F3759DF, 32), shifted)
+	return uint32(diff.Uint())
+}
+
+// RsqrtFP32 computes 1/sqrt(d) for positive normal d.
+func (c *Circuit) RsqrtFP32(d uint32) uint32 {
+	x := c.rsqrtSeed(d)
+	halfD := c.MulFP32(fpHalf, d)
+	for i := 0; i < RsqrtIterations; i++ {
+		x2 := c.MulFP32(x, x)
+		t := c.AddFP32(fp3o2, c.negate(c.MulFP32(halfD, x2))) // 1.5 - 0.5*d*x^2
+		x = c.MulFP32(x, t)
+	}
+	return x
+}
+
+// SqrtFP32 computes sqrt(d) = d * rsqrt(d) for positive normal d.
+func (c *Circuit) SqrtFP32(d uint32) uint32 {
+	if d == 0 {
+		return 0
+	}
+	return c.MulFP32(d, c.RsqrtFP32(d))
+}
+
+// InPIMSpecialOpSteps returns the bit-serial latency (in NOR steps) of an
+// in-array special operation built from n multiplies and m adds — the
+// quantity the LUT-offload ablation compares against Algorithm 1's three
+// row operations.
+func InPIMSpecialOpSteps(muls, adds int) int64 {
+	return int64(muls)*2700 + int64(adds)*1300
+}
+
+// RecipSteps and SqrtSteps are the per-operand in-array latencies.
+func RecipSteps() int64 { return InPIMSpecialOpSteps(2*RecipIterations, RecipIterations) }
+func SqrtSteps() int64 {
+	return InPIMSpecialOpSteps(3*RsqrtIterations+2, RsqrtIterations)
+}

@@ -1,0 +1,91 @@
+package nor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wavepim/internal/params"
+)
+
+func relErr32(got uint32, want float64) float64 {
+	g := float64(math.Float32frombits(got))
+	return math.Abs(g-want) / math.Abs(want)
+}
+
+func TestRecipFP32Accuracy(t *testing.T) {
+	var c Circuit
+	for _, d := range []float64{1, 2, 3, 0.5, 1.5, 2.25, 9.81, 1000, 1e-3, 123456.789} {
+		got := c.RecipFP32(math.Float32bits(float32(d)))
+		if e := relErr32(got, 1/d); e > 2e-7 {
+			t.Errorf("recip(%g): rel err %g", d, e)
+		}
+	}
+}
+
+func TestRecipFP32Property(t *testing.T) {
+	var c Circuit
+	f := func(raw uint32) bool {
+		// Positive normal range, away from overflow of the seed.
+		d := float64(1e-3 + float64(raw%100000)/100) // [1e-3, 1000)
+		got := c.RecipFP32(math.Float32bits(float32(d)))
+		return relErr32(got, 1/d) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqrtFP32Accuracy(t *testing.T) {
+	var c Circuit
+	for _, d := range []float64{1, 2, 4, 9, 2.25, 0.25, 100, 1e-4, 31.4159} {
+		got := c.SqrtFP32(math.Float32bits(float32(d)))
+		if e := relErr32(got, math.Sqrt(d)); e > 1e-6 {
+			t.Errorf("sqrt(%g): rel err %g", d, e)
+		}
+	}
+	if c.SqrtFP32(0) != 0 {
+		t.Error("sqrt(0) != 0")
+	}
+}
+
+func TestRsqrtFP32Property(t *testing.T) {
+	var c Circuit
+	f := func(raw uint32) bool {
+		d := float64(1e-2 + float64(raw%1000000)/1000)
+		got := c.RsqrtFP32(math.Float32bits(float32(d)))
+		return relErr32(got, 1/math.Sqrt(d)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The design-choice quantification: an in-array reciprocal or square root
+// costs an order of magnitude more latency than one basic operation, and
+// vastly more than the Algorithm 1 LUT fetch (two row reads + one row
+// write plus transit) — the paper's rationale for the host offload.
+func TestLUTOffloadWinsOverInArraySpecialOps(t *testing.T) {
+	lutLatency := 2*params.BlockRowReadLatency + params.BlockRowWriteLatency +
+		8*params.SwitchHopLatencySec // generous transit allowance
+	recipLatency := float64(RecipSteps()) * params.TNORSeconds
+	sqrtLatency := float64(SqrtSteps()) * params.TNORSeconds
+	if recipLatency < 50*lutLatency {
+		t.Errorf("in-array recip (%.3gs) should dwarf a LUT fetch (%.3gs)", recipLatency, lutLatency)
+	}
+	if sqrtLatency < 50*lutLatency {
+		t.Errorf("in-array sqrt (%.3gs) should dwarf a LUT fetch (%.3gs)", sqrtLatency, lutLatency)
+	}
+	// And the in-array ops are also far beyond one multiply.
+	mul := float64(params.NORStepsFPMul32) * params.TNORSeconds
+	if recipLatency < 3*mul || sqrtLatency < 3*mul {
+		t.Error("special ops should cost several basic multiplies")
+	}
+}
+
+func TestNegate(t *testing.T) {
+	var c Circuit
+	if got := math.Float32frombits(c.negate(math.Float32bits(3.5))); got != -3.5 {
+		t.Errorf("negate got %g", got)
+	}
+}

@@ -1,0 +1,311 @@
+package nor
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestGatePrimitives(t *testing.T) {
+	var c Circuit
+	for _, a := range []bool{false, true} {
+		if c.NOT(a) != !a {
+			t.Error("NOT wrong")
+		}
+		for _, b := range []bool{false, true} {
+			if c.OR(a, b) != (a || b) {
+				t.Error("OR wrong")
+			}
+			if c.AND(a, b) != (a && b) {
+				t.Error("AND wrong")
+			}
+			if c.XOR(a, b) != (a != b) {
+				t.Error("XOR wrong")
+			}
+			if c.NOR(a, b) != !(a || b) {
+				t.Error("NOR wrong")
+			}
+			for _, s := range []bool{false, true} {
+				want := a
+				if s {
+					want = b
+				}
+				if c.MUX(s, a, b) != want {
+					t.Error("MUX wrong")
+				}
+			}
+		}
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	var c Circuit
+	c.NOR(false, false) // 1 eval, 1 reset, 1 set
+	c.NOR(true)         // 1 eval, 1 reset, 0 set
+	if c.Stats.NOREvals != 2 || c.Stats.Resets != 2 || c.Stats.Sets != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+	if c.Stats.Energy() <= 0 {
+		t.Error("energy must be positive")
+	}
+	var other Stats
+	other.Add(c.Stats)
+	if other.NOREvals != 2 {
+		t.Error("Stats.Add wrong")
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		return BitsFromUint(v, 64).Uint() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddBitsProperty(t *testing.T) {
+	var c Circuit
+	f := func(a, b uint32) bool {
+		got := c.AddBits(BitsFromUint(uint64(a), 32), BitsFromUint(uint64(b), 32), false)
+		return got.Uint() == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubBitsProperty(t *testing.T) {
+	var c Circuit
+	f := func(a, b uint32) bool {
+		diff, noBorrow := c.SubBits(BitsFromUint(uint64(a), 32), BitsFromUint(uint64(b), 32))
+		wantNoBorrow := a >= b
+		return diff.Uint() == uint64(a-b) && noBorrow == wantNoBorrow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulBitsProperty(t *testing.T) {
+	var c Circuit
+	f := func(a, b uint32) bool {
+		a &= 0xFFFFFF // 24-bit operands as in the FP32 datapath
+		b &= 0xFFFFFF
+		got := c.MulBits(BitsFromUint(uint64(a), 24), BitsFromUint(uint64(b), 24))
+		return got.Uint() == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftRightBitsWithSticky(t *testing.T) {
+	var c Circuit
+	f := func(v uint32, shRaw uint8) bool {
+		sh := uint64(shRaw % 32)
+		out, sticky := c.ShiftRightBits(BitsFromUint(uint64(v), 32), BitsFromUint(sh, 5))
+		wantOut := uint64(v) >> sh
+		wantSticky := uint64(v)&((1<<sh)-1) != 0
+		return out.Uint() == wantOut && sticky == wantSticky
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftLeftBits(t *testing.T) {
+	var c Circuit
+	f := func(v uint32, shRaw uint8) bool {
+		sh := uint64(shRaw % 32)
+		out := c.ShiftLeftBits(BitsFromUint(uint64(v), 32), BitsFromUint(sh, 5))
+		return uint32(out.Uint()) == v<<sh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeadingZeros(t *testing.T) {
+	var c Circuit
+	f := func(v uint64) bool {
+		v &= (1 << 48) - 1
+		got := c.LeadingZeros(BitsFromUint(v, 48))
+		want := uint64(bits.LeadingZeros64(v) - 16) // 48-bit view
+		return got.Uint() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if got := c.LeadingZeros(BitsFromUint(0, 48)).Uint(); got != 48 {
+		t.Errorf("LeadingZeros(0) = %d want 48", got)
+	}
+}
+
+func TestGEBits(t *testing.T) {
+	var c Circuit
+	f := func(a, b uint16) bool {
+		return c.GEBits(BitsFromUint(uint64(a), 16), BitsFromUint(uint64(b), 16)) == (a >= b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// same reports FP32 bit equality, treating any two NaNs as equal (hardware
+// NaN payloads are unspecified).
+func sameFP32(got, want uint32) bool {
+	if got == want {
+		return true
+	}
+	gotNaN := got&0x7F800000 == 0x7F800000 && got&0x7FFFFF != 0
+	wantNaN := want&0x7F800000 == 0x7F800000 && want&0x7FFFFF != 0
+	return gotNaN && wantNaN
+}
+
+func hwMul(a, b uint32) uint32 {
+	return math.Float32bits(math.Float32frombits(a) * math.Float32frombits(b))
+}
+
+func hwAdd(a, b uint32) uint32 {
+	return math.Float32bits(math.Float32frombits(a) + math.Float32frombits(b))
+}
+
+// Directed FP32 edge cases: zeros, subnormals, infinities, NaN, rounding
+// boundaries, massive cancellation.
+var fpEdgeCases = []uint32{
+	0x00000000,          // +0
+	0x80000000,          // -0
+	0x00000001,          // smallest subnormal
+	0x80000001,          // -smallest subnormal
+	0x007FFFFF,          // largest subnormal
+	0x00800000,          // smallest normal
+	0x3F800000,          // 1.0
+	0xBF800000,          // -1.0
+	0x3F800001,          // 1 + ulp
+	0x34000000,          // 2^-23
+	0x33FFFFFF,          // just under 2^-23
+	0x7F7FFFFF,          // max finite
+	0xFF7FFFFF,          // -max finite
+	0x7F800000,          // +inf
+	0xFF800000,          // -inf
+	0x7FC00000,          // NaN
+	0x7F800001,          // signaling NaN pattern
+	0x40490FDB,          // pi
+	0x501502F9,          // 1e10
+	0x0DA24260,          // tiny normal
+	math.Float32bits(3), // small integers
+	math.Float32bits(0.1),
+	math.Float32bits(-0.5),
+	math.Float32bits(1.5e38),
+	math.Float32bits(6e-39), // subnormal range
+}
+
+func TestMulFP32EdgeCases(t *testing.T) {
+	var c Circuit
+	for _, a := range fpEdgeCases {
+		for _, b := range fpEdgeCases {
+			got := c.MulFP32(a, b)
+			want := hwMul(a, b)
+			if !sameFP32(got, want) {
+				t.Errorf("MulFP32(%08x, %08x) = %08x, want %08x (%g * %g)",
+					a, b, got, want,
+					math.Float32frombits(a), math.Float32frombits(b))
+			}
+		}
+	}
+}
+
+func TestAddFP32EdgeCases(t *testing.T) {
+	var c Circuit
+	for _, a := range fpEdgeCases {
+		for _, b := range fpEdgeCases {
+			got := c.AddFP32(a, b)
+			want := hwAdd(a, b)
+			if !sameFP32(got, want) {
+				t.Errorf("AddFP32(%08x, %08x) = %08x, want %08x (%g + %g)",
+					a, b, got, want,
+					math.Float32frombits(a), math.Float32frombits(b))
+			}
+		}
+	}
+}
+
+func TestMulFP32Property(t *testing.T) {
+	var c Circuit
+	f := func(a, b uint32) bool {
+		return sameFP32(c.MulFP32(a, b), hwMul(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddFP32Property(t *testing.T) {
+	var c Circuit
+	f := func(a, b uint32) bool {
+		return sameFP32(c.AddFP32(a, b), hwAdd(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Near-cancellation stress: a + (-a*(1+k ulp)) exercises the subtract path
+// with every small alignment.
+func TestAddFP32Cancellation(t *testing.T) {
+	var c Circuit
+	base := math.Float32bits(float32(1.2345678))
+	for k := uint32(0); k < 40; k++ {
+		a := base
+		b := (base + k) | 0x80000000
+		got := c.AddFP32(a, b)
+		want := hwAdd(a, b)
+		if !sameFP32(got, want) {
+			t.Errorf("cancellation k=%d: got %08x want %08x", k, got, want)
+		}
+	}
+}
+
+// Subnormal sweep: products and sums that land in the subnormal range.
+func TestFP32SubnormalResults(t *testing.T) {
+	var c Circuit
+	vals := []float32{1e-38, 2e-38, 5e-39, 1.5e-39, 3e-39}
+	for _, x := range vals {
+		for _, y := range vals {
+			a, b := math.Float32bits(x), math.Float32bits(y)
+			if got, want := c.MulFP32(a, b), hwMul(a, b); !sameFP32(got, want) {
+				t.Errorf("subnormal mul %g*%g: got %08x want %08x", x, y, got, want)
+			}
+			nb := b | 0x80000000
+			if got, want := c.AddFP32(a, nb), hwAdd(a, nb); !sameFP32(got, want) {
+				t.Errorf("subnormal add %g-%g: got %08x want %08x", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestFloat32Wrappers(t *testing.T) {
+	var c Circuit
+	if got := c.MulFloat32(3, 4); got != 12 {
+		t.Errorf("MulFloat32(3,4)=%g", got)
+	}
+	if got := c.AddFloat32(1.5, 2.25); got != 3.75 {
+		t.Errorf("AddFloat32=%g", got)
+	}
+}
+
+// The energy model orders operations sensibly: multiply costs more gates
+// (and energy) than add.
+func TestMulCostsMoreThanAdd(t *testing.T) {
+	var ca, cm Circuit
+	ca.AddFP32(math.Float32bits(1.7), math.Float32bits(2.9))
+	cm.MulFP32(math.Float32bits(1.7), math.Float32bits(2.9))
+	if cm.Stats.NOREvals <= ca.Stats.NOREvals {
+		t.Errorf("mul gates %d should exceed add gates %d", cm.Stats.NOREvals, ca.Stats.NOREvals)
+	}
+	if cm.Stats.Energy() <= ca.Stats.Energy() {
+		t.Error("mul energy should exceed add energy")
+	}
+}

@@ -1,0 +1,419 @@
+// Package sim executes PIM instruction streams on a chip model, producing
+// time, energy, and per-phase breakdowns. It is the reproduction's stand-in
+// for the paper's cycle-accurate simulator (NVSim + FloatPIM adaptation):
+// digital-PIM timing is deterministic per instruction — every arithmetic
+// instruction is a fixed bit-serial NOR sequence, every transfer a routed
+// switch path — so accumulating per-instruction costs at instruction
+// granularity is equivalent to cycle-accurate simulation for these
+// workloads.
+//
+// The engine has two modes. In timing mode it only accounts cost. In
+// functional mode it additionally performs every data movement and
+// arithmetic operation on real float32 cell contents, which lets tests
+// check a PIM-executed dG time-step against the internal/dg reference
+// solver node for node.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"wavepim/internal/params"
+	"wavepim/internal/pim/chip"
+	"wavepim/internal/pim/intercon"
+	"wavepim/internal/pim/isa"
+	"wavepim/internal/pim/xbar"
+)
+
+// Phase is one scheduled span of work.
+type Phase struct {
+	Name    string
+	Kind    string // "blocks", "transfer", "dram", "host", "compose"
+	Start   float64
+	Dur     float64
+	EnergyJ float64
+}
+
+// End returns the phase end time.
+func (p Phase) End() float64 { return p.Start + p.Dur }
+
+// RowTransfer is an inter-block data movement at word granularity: Words
+// 32-bit words from (SrcBlock, SrcRow, SrcOff) to (DstBlock, DstRow,
+// DstOff), routed through the interconnect.
+type RowTransfer struct {
+	SrcBlock, SrcRow, SrcOff int
+	DstBlock, DstRow, DstOff int
+	Words                    int
+}
+
+// Engine executes work on a chip and accumulates a timeline.
+type Engine struct {
+	Chip       *chip.Chip
+	Functional bool
+
+	Timeline    []Phase
+	TotalEnergy float64
+	clock       float64
+
+	// Instruction statistics.
+	InstrCount int64
+	TransferCt int64
+	DRAMBytes  int64
+
+	// chipTree routes cross-tile transfers: an H-tree whose leaves are the
+	// chip's tiles (the chip-level counterpart of the per-tile trees).
+	chipTree intercon.Topology
+}
+
+// New creates an engine over a chip. The chip-level (inter-tile) network
+// matches the configured tile interconnect kind: a fanout-4 H-tree over
+// tiles, or a single chip-wide bus for the Bus design.
+func New(ch *chip.Chip, functional bool) *Engine {
+	e := &Engine{Chip: ch, Functional: functional}
+	if n := ch.Config.NumTiles(); n > 1 {
+		if ch.Config.Interconnect == chip.Bus {
+			e.chipTree = intercon.NewBus(n)
+		} else {
+			e.chipTree = intercon.NewHTree(n, 4)
+		}
+	}
+	return e
+}
+
+// Now returns the current clock.
+func (e *Engine) Now() float64 { return e.clock }
+
+// commit appends a phase at the given start and advances the clock to at
+// least its end.
+func (e *Engine) commit(p Phase, start float64) Phase {
+	p.Start = start
+	if p.End() > e.clock {
+		e.clock = p.End()
+	}
+	e.TotalEnergy += p.EnergyJ
+	e.Timeline = append(e.Timeline, p)
+	return p
+}
+
+// Sequence lays a phase at the current clock.
+func (e *Engine) Sequence(p Phase) Phase { return e.commit(p, e.clock) }
+
+// Parallel lays several phases at the same start time (the pipelining of
+// Section 6.3: flux data fetch, host preprocessing and Volume compute
+// overlap); the clock advances by the longest.
+func (e *Engine) Parallel(ps ...Phase) []Phase {
+	start := e.clock
+	out := make([]Phase, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, e.commit(p, start))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Cost model (single source of truth, verified against xbar's accounting)
+// ---------------------------------------------------------------------------
+
+// InstrCost returns the latency and energy of one instruction executed in a
+// block. rowCount-dependent energy uses the instruction's own row range.
+func InstrCost(in isa.Instr) (sec, joules float64) {
+	switch in.Op {
+	case isa.OpNop:
+		return 0, 0
+	case isa.OpRead:
+		return params.BlockRowReadLatency, params.RowBufferReadEnergyJ
+	case isa.OpWrite:
+		return params.BlockRowWriteLatency, params.RowBufferWriteEnergyJ
+	case isa.OpBroadcast:
+		return params.BlockRowReadLatency + float64(in.RowCount)*params.BlockRowWriteLatency,
+			params.RowBufferReadEnergyJ + float64(in.RowCount)*params.RowBufferWriteEnergyJ
+	case isa.OpAdd, isa.OpSub:
+		steps := float64(params.NORStepsFPAdd32)
+		return steps * params.TNORSeconds, steps * params.EnergyPerNORStep * float64(in.RowCount)
+	case isa.OpMul:
+		steps := float64(params.NORStepsFPMul32)
+		return steps * params.TNORSeconds, steps * params.EnergyPerNORStep * float64(in.RowCount)
+	case isa.OpGroupBcast, isa.OpPattern:
+		return params.GroupBcastLatencySec, params.GroupBcastEnergyJ
+	case isa.OpLUT:
+		// Algorithm 1: two reads and one write, plus the one-word transit
+		// from the LUT block (charged by the caller via transfer path).
+		sec = 2*params.BlockRowReadLatency + params.BlockRowWriteLatency
+		joules = 2*params.RowBufferReadEnergyJ + params.RowBufferWriteEnergyJ
+		return sec, joules
+	case isa.OpMemcpy:
+		// Standalone memcpy latency is routing-dependent; ExecTransfers
+		// prices full routes. A bare memcpy instruction accounts only the
+		// endpoint buffer operations.
+		return params.BlockRowReadLatency + params.BlockRowWriteLatency,
+			params.RowBufferReadEnergyJ + params.RowBufferWriteEnergyJ
+	}
+	panic(fmt.Sprintf("sim: unknown opcode %v", in.Op))
+}
+
+// ---------------------------------------------------------------------------
+// Work executors (they price work; Sequence/Parallel place it in time)
+// ---------------------------------------------------------------------------
+
+// ExecBlocks executes one program per block, all blocks in parallel (the
+// chip's defining property). Returns an unplaced Phase whose duration is
+// the longest per-block program and whose energy is the sum.
+func (e *Engine) ExecBlocks(name string, progs map[int][]isa.Instr) Phase {
+	var maxDur, energy float64
+	for blockID, prog := range progs {
+		var dur float64
+		for _, in := range prog {
+			sec, j := InstrCost(in)
+			dur += sec
+			energy += j
+			e.InstrCount++
+			if in.Op == isa.OpLUT {
+				// Transit of the fetched word from the LUT block.
+				tsec, tj := e.transferCost(in.LUTBlock, blockID, 1)
+				dur += tsec
+				energy += tj
+			}
+			if e.Functional {
+				e.execInstr(blockID, in)
+			}
+		}
+		if dur > maxDur {
+			maxDur = dur
+		}
+	}
+	return Phase{Name: name, Kind: "blocks", Dur: maxDur, EnergyJ: energy}
+}
+
+// ExecEncoded executes assembled 64-bit instruction streams — the actual
+// host-to-controller interface of the ISA-based design. The central
+// controller decodes each word before dispatching it to the block's
+// decoder, exactly as Section 4.1 describes ("Instructions are sent from
+// the host, and are pre-processed by the decoder on the PIM chip").
+func (e *Engine) ExecEncoded(name string, streams map[int][]uint64) (Phase, error) {
+	progs := make(map[int][]isa.Instr, len(streams))
+	for blockID, words := range streams {
+		prog := make([]isa.Instr, len(words))
+		for i, w := range words {
+			in, err := isa.Decode(w)
+			if err != nil {
+				return Phase{}, fmt.Errorf("sim: block %d word %d: %w", blockID, i, err)
+			}
+			prog[i] = in
+		}
+		progs[blockID] = prog
+	}
+	return e.ExecBlocks(name, progs), nil
+}
+
+// ExecBlocksN prices one program template executed concurrently by n
+// identical blocks — the timing-mode fast path for large models, where the
+// per-block programs of a kernel phase are the same template replicated
+// across every element (duration is one program; energy scales with n). It
+// must not be used in functional mode.
+func (e *Engine) ExecBlocksN(name string, prog []isa.Instr, n int, avgLUTHops int) Phase {
+	if e.Functional {
+		panic("sim: ExecBlocksN is timing-only; use ExecBlocks in functional mode")
+	}
+	var dur, energy float64
+	for _, in := range prog {
+		sec, j := InstrCost(in)
+		dur += sec
+		energy += j
+		if in.Op == isa.OpLUT && avgLUTHops > 0 {
+			dur += float64(avgLUTHops) * params.SwitchHopLatencySec
+			energy += float64(avgLUTHops) * params.SwitchHopEnergyJ
+		}
+	}
+	e.InstrCount += int64(len(prog) * n)
+	return Phase{Name: name, Kind: "blocks", Dur: dur, EnergyJ: energy * float64(n)}
+}
+
+// execInstr performs one instruction's data effects.
+func (e *Engine) execInstr(blockID int, in isa.Instr) {
+	b := e.Chip.Block(blockID)
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpRead:
+		e.Chip.Block(in.Block).ReadRow(in.Row)
+	case isa.OpWrite:
+		e.Chip.Block(in.Block).WriteRow(in.Row)
+	case isa.OpBroadcast:
+		b.Broadcast(in.Row, in.RowStart, in.RowCount, in.SrcOff, in.DstOff, in.WordCount)
+	case isa.OpAdd:
+		b.ArithSel(xbar.OpAdd, in.RowStart, in.RowCount, in.DstOff, in.SrcOff, in.Src2Off)
+	case isa.OpMul:
+		b.ArithSel(xbar.OpMul, in.RowStart, in.RowCount, in.DstOff, in.SrcOff, in.Src2Off)
+	case isa.OpSub:
+		b.ArithSel(xbar.OpSub, in.RowStart, in.RowCount, in.DstOff, in.SrcOff, in.Src2Off)
+	case isa.OpGroupBcast:
+		b.GroupBcast(in.RowStart, in.RowCount, in.SrcOff, in.DstOff, in.Stride, in.GroupSize, in.GroupIdx)
+	case isa.OpPattern:
+		b.Pattern(in.Row, in.RowStart, in.RowCount, in.SrcOff, in.DstOff, in.Stride, in.GroupSize)
+	case isa.OpLUT:
+		// Algorithm 1 on real data.
+		lut := e.Chip.Block(in.LUTBlock)
+		idx := b.GetWord(in.Row, in.SrcOff)
+		content := lut.GetWord(int(idx)/params.WordsPerRow, int(idx)%params.WordsPerRow)
+		b.SetWord(in.Row, in.DstOff, content)
+	case isa.OpMemcpy:
+		src := e.Chip.Block(in.Block)
+		src.ReadRow(in.Row)
+		dst := e.Chip.Block(in.DstBlock)
+		dst.LoadBuffer(src.Buffer())
+		dst.WriteRow(in.DstRow)
+	}
+}
+
+// transferCost prices a words-long movement between two blocks, including
+// the cross-tile path when they live in different tiles.
+func (e *Engine) transferCost(src, dst int, words int) (sec, joules float64) {
+	if src == dst {
+		return 0, 0
+	}
+	hops := e.routeHops(src, dst)
+	payloads := (words + params.PayloadWords - 1) / params.PayloadWords
+	sec = float64(payloads+hops-1) * params.SwitchHopLatencySec
+	joules = float64(words*hops) * params.SwitchHopEnergyJ
+	return sec, joules
+}
+
+// routeHops counts the switches between two blocks: the tile topology path
+// when co-resident; otherwise both tiles' full depth plus the chip-level
+// router hop.
+func (e *Engine) routeHops(src, dst int) int {
+	st, dt := e.Chip.TileOf(src), e.Chip.TileOf(dst)
+	if st == dt {
+		return len(e.Chip.Topology(st).Path(e.Chip.LocalID(src), e.Chip.LocalID(dst)))
+	}
+	depth := treeDepth(e.Chip.Topology(st))
+	return 2*depth + 1 // up the source tile, across the chip router, down the destination tile
+}
+
+func treeDepth(t intercon.Topology) int {
+	if t.Name() == "bus" {
+		return 1
+	}
+	// Depth of a fanout-f tree over the tile's leaves: path length from a
+	// leaf to the root.
+	p := t.Path(0, t.Leaves()-1)
+	return (len(p) + 1) / 2
+}
+
+// ExecTransfers schedules a batch of inter-block transfers. Intra-tile
+// batches use the tile's contention-aware topology schedule and different
+// tiles overlap; cross-tile transfers are scheduled on the chip-level
+// H-tree over tiles (disjoint tile subtrees overlap, shared routes
+// contend). Functional mode also moves the words.
+func (e *Engine) ExecTransfers(name string, trs []RowTransfer) Phase {
+	perTile := make(map[int][]intercon.Transfer)
+	var cross []intercon.Transfer
+	var crossEndpoints float64
+	for _, tr := range trs {
+		e.TransferCt++
+		st, dt := e.Chip.TileOf(tr.SrcBlock), e.Chip.TileOf(tr.DstBlock)
+		if st == dt {
+			perTile[st] = append(perTile[st], intercon.Transfer{
+				Src: e.Chip.LocalID(tr.SrcBlock), Dst: e.Chip.LocalID(tr.DstBlock), Words: tr.Words})
+		} else {
+			cross = append(cross, intercon.Transfer{Src: st, Dst: dt, Words: tr.Words})
+			// The legs inside the two tiles (leaf to tile root and back).
+			payloads := (tr.Words + params.PayloadWords - 1) / params.PayloadWords
+			crossEndpoints += float64(2 * treeDepth(e.Chip.Topology(st)) * payloads)
+		}
+		if e.Functional {
+			e.moveWords(tr)
+		}
+	}
+	var dur, energy float64
+	for tile, batch := range perTile {
+		s := intercon.ScheduleBatch(e.Chip.Topology(tile), batch)
+		if s.Makespan > dur {
+			dur = s.Makespan
+		}
+		energy += s.EnergyJ
+	}
+	if len(cross) > 0 && e.chipTree != nil {
+		s := intercon.ScheduleBatch(e.chipTree, cross)
+		// Tile-internal legs of cross-tile routes add energy and latency.
+		legEnergy := crossEndpoints * params.PayloadWords * params.SwitchHopEnergyJ
+		crossDur := s.Makespan + crossEndpoints/float64(len(cross))*params.SwitchHopLatencySec
+		energy += s.EnergyJ + legEnergy
+		if crossDur > dur {
+			dur = crossDur
+		}
+	}
+	// Endpoint row buffer operations (read at source, write at target) are
+	// part of every transfer (Figure 3's I0 and I4).
+	if len(trs) > 0 {
+		dur += params.BlockRowReadLatency + params.BlockRowWriteLatency
+		energy += float64(len(trs)) * (params.RowBufferReadEnergyJ + params.RowBufferWriteEnergyJ)
+	}
+	return Phase{Name: name, Kind: "transfer", Dur: dur, EnergyJ: energy}
+}
+
+// moveWords performs the functional data movement of one transfer.
+func (e *Engine) moveWords(tr RowTransfer) {
+	src := e.Chip.Block(tr.SrcBlock)
+	dst := e.Chip.Block(tr.DstBlock)
+	for w := 0; w < tr.Words; w++ {
+		dst.SetWord(tr.DstRow, tr.DstOff+w, src.GetWord(tr.SrcRow, tr.SrcOff+w))
+	}
+}
+
+// ExecDRAM prices an off-chip HBM2 transaction (batching's store/load
+// steps, Figure 6). Energy charges the DRAM's power for the duration.
+func (e *Engine) ExecDRAM(name string, bytes int64) Phase {
+	e.DRAMBytes += bytes
+	dur := float64(bytes) / params.OffChipBandwidthBps
+	return Phase{Name: name, Kind: "dram", Dur: dur, EnergyJ: params.OffChipDRAMPowerW * dur}
+}
+
+// ExecHost prices host CPU preprocessing: the sqrt and inverse units
+// offloaded per Section 4.3, spread across the host's cores.
+func (e *Engine) ExecHost(name string, sqrts, inverses int) Phase {
+	h := params.ARMCortexA72
+	work := float64(sqrts)*h.SqrtLatencySec + float64(inverses)*h.InverseLatencySec
+	dur := work / float64(h.Cores)
+	return Phase{Name: name, Kind: "host", Dur: dur, EnergyJ: h.PowerW * dur}
+}
+
+// StaticEnergy returns the chip's static (leakage + host idle + DRAM
+// standby) energy over the current makespan; callers add it to TotalEnergy
+// for whole-run energy accounting.
+func (e *Engine) StaticEnergy() float64 {
+	return chip.SystemPowerW(e.Chip.Config) * e.clock
+}
+
+// TotalTime returns the current makespan.
+func (e *Engine) TotalTime() float64 { return e.clock }
+
+// PhaseTime sums the durations of timeline phases whose name contains the
+// given substring (for breakdown reporting).
+func (e *Engine) PhaseTime(kind string) float64 {
+	var t float64
+	for _, p := range e.Timeline {
+		if p.Kind == kind {
+			t += p.Dur
+		}
+	}
+	return t
+}
+
+// Reset clears the timeline and counters but keeps the chip (and its data).
+func (e *Engine) Reset() {
+	e.Timeline = nil
+	e.TotalEnergy = 0
+	e.clock = 0
+	e.InstrCount = 0
+	e.TransferCt = 0
+	e.DRAMBytes = 0
+}
+
+// CheckClose is a test helper: true when a and b agree within rel.
+func CheckClose(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= rel*den
+}

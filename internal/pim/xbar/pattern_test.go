@@ -1,0 +1,142 @@
+package xbar
+
+import (
+	"testing"
+
+	"wavepim/internal/params"
+)
+
+func TestArithSelSub(t *testing.T) {
+	b := New(0)
+	b.SetFloat(0, 0, 7.5)
+	b.SetFloat(0, 1, 2.25)
+	b.ArithSel(OpSub, 0, 1, 2, 0, 1)
+	if got := b.GetFloat(0, 2); got != 5.25 {
+		t.Errorf("sub got %g", got)
+	}
+	// Subtraction costs the addition NOR sequence.
+	if b.Stats.NORSteps != params.NORStepsFPAdd32 {
+		t.Errorf("sub NOR steps %d want %d", b.Stats.NORSteps, params.NORStepsFPAdd32)
+	}
+	if b.Stats.AddOps != 1 {
+		t.Errorf("sub should count as an add-class op")
+	}
+}
+
+func TestGroupBcastAxisSemantics(t *testing.T) {
+	// np=4 element: 64 rows, row = k*16 + j*4 + i. GroupBcast along x
+	// (stride 1, group 4, idx m) must put u(m, j, k) into every row of the
+	// (j,k) line.
+	b := New(0)
+	np := 4
+	nn := np * np * np
+	val := func(i, j, k int) float32 { return float32(100*i + 10*j + k) }
+	for k := 0; k < np; k++ {
+		for j := 0; j < np; j++ {
+			for i := 0; i < np; i++ {
+				b.SetFloat(k*16+j*4+i, 0, val(i, j, k))
+			}
+		}
+	}
+	m := 2
+	b.GroupBcast(0, nn, 0, 1, 1, np, m)
+	for k := 0; k < np; k++ {
+		for j := 0; j < np; j++ {
+			for i := 0; i < np; i++ {
+				want := val(m, j, k)
+				if got := b.GetFloat(k*16+j*4+i, 1); got != want {
+					t.Fatalf("x-gbcast row (%d,%d,%d): got %g want %g", i, j, k, got, want)
+				}
+			}
+		}
+	}
+	// Along y (stride np): u(i, m, k) everywhere.
+	b.GroupBcast(0, nn, 0, 2, np, np, m)
+	for k := 0; k < np; k++ {
+		for j := 0; j < np; j++ {
+			for i := 0; i < np; i++ {
+				want := val(i, m, k)
+				if got := b.GetFloat(k*16+j*4+i, 2); got != want {
+					t.Fatalf("y-gbcast row (%d,%d,%d): got %g want %g", i, j, k, got, want)
+				}
+			}
+		}
+	}
+	// Along z (stride np^2): u(i, j, m) everywhere.
+	b.GroupBcast(0, nn, 0, 3, np*np, np, m)
+	for k := 0; k < np; k++ {
+		for j := 0; j < np; j++ {
+			for i := 0; i < np; i++ {
+				want := val(i, j, m)
+				if got := b.GetFloat(k*16+j*4+i, 3); got != want {
+					t.Fatalf("z-gbcast row (%d,%d,%d): got %g want %g", i, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPatternDistributesPerAxisConstants(t *testing.T) {
+	// Storage rows 512+i hold D[i][*]; Pattern along axis a must deliver
+	// D[coord_a(r)][m] to every row r.
+	b := New(0)
+	np := 4
+	nn := np * np * np
+	for i := 0; i < np; i++ {
+		for m := 0; m < np; m++ {
+			b.SetFloat(512+i, m, float32(10*i+m))
+		}
+	}
+	m := 3
+	// Axis y: coord = (r/np) % np.
+	b.Pattern(512, 0, nn, m, 5, np, np)
+	for r := 0; r < nn; r++ {
+		j := (r / np) % np
+		want := float32(10*j + m)
+		if got := b.GetFloat(r, 5); got != want {
+			t.Fatalf("pattern row %d: got %g want %g", r, got, want)
+		}
+	}
+}
+
+func TestPatternMaskGeneration(t *testing.T) {
+	// Mask rows: word0 = first-indicator. Pattern with stride np^2 gives
+	// the z-minus face mask (k == 0).
+	b := New(0)
+	np := 4
+	nn := np * np * np
+	for i := 0; i < np; i++ {
+		if i == 0 {
+			b.SetFloat(520+i, 0, 1)
+		}
+	}
+	b.Pattern(520, 0, nn, 0, 7, np*np, np)
+	for r := 0; r < nn; r++ {
+		k := r / (np * np)
+		want := float32(0)
+		if k == 0 {
+			want = 1
+		}
+		if got := b.GetFloat(r, 7); got != want {
+			t.Fatalf("mask row %d (k=%d): got %g want %g", r, k, got, want)
+		}
+	}
+}
+
+func TestPatternPanicsOnBadGeometry(t *testing.T) {
+	b := New(0)
+	for i, fn := range []func(){
+		func() { b.Pattern(1020, 0, 64, 0, 1, 1, 8) }, // base+group beyond rows
+		func() { b.Pattern(512, 0, 64, 0, 1, 0, 8) },  // zero stride
+		func() { b.Pattern(512, 0, 2000, 0, 1, 1, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

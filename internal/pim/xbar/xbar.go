@@ -1,0 +1,280 @@
+// Package xbar models one PIM memory block: a 1K x 1K memristor crossbar
+// array with sense amplifiers, a per-block decoder, and a row/column buffer
+// (Section 4.1). Computation happens inside the block in a bit-serial,
+// row-parallel way: one arithmetic instruction runs the same NOR
+// micro-sequence in every addressed row simultaneously, so an instruction's
+// latency is independent of how many rows it touches while its energy
+// scales with the row count.
+//
+// The block executes instructions functionally on real float32 data. The
+// bit-level equivalence of its add/mul semantics with the in-array NOR
+// sequences is established by internal/pim/nor's property tests, so this
+// package can use hardware float32 arithmetic while charging Table 4
+// energy and timing.
+package xbar
+
+import (
+	"fmt"
+	"math"
+
+	"wavepim/internal/params"
+)
+
+// Rows and WordsPerRow describe the block geometry (1 Mb = 1024 x 1024
+// cells, 32 words of 32 bits per row).
+const (
+	Rows        = params.CellsPerRow
+	WordsPerRow = params.WordsPerRow
+)
+
+// Stats accumulates the physical activity of one block.
+type Stats struct {
+	RowReads   int64   // row buffer loads
+	RowWrites  int64   // row buffer stores
+	AddOps     int64   // FP32 additions executed (rows x instructions)
+	MulOps     int64   // FP32 multiplications executed
+	CopiedRows int64   // broadcast row writes
+	NORSteps   int64   // sequential NOR steps charged as latency
+	BusySec    float64 // total busy time
+	EnergyJ    float64 // dynamic energy
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.RowReads += o.RowReads
+	s.RowWrites += o.RowWrites
+	s.AddOps += o.AddOps
+	s.MulOps += o.MulOps
+	s.CopiedRows += o.CopiedRows
+	s.NORSteps += o.NORSteps
+	s.BusySec += o.BusySec
+	s.EnergyJ += o.EnergyJ
+}
+
+// Block is one crossbar memory block.
+type Block struct {
+	ID    int
+	cells [][]uint32 // [Rows][WordsPerRow] float32 bit patterns
+	buf   []uint32   // row buffer (one row)
+	Stats Stats
+}
+
+// New allocates a zeroed block.
+func New(id int) *Block {
+	b := &Block{ID: id, buf: make([]uint32, WordsPerRow)}
+	b.cells = make([][]uint32, Rows)
+	backing := make([]uint32, Rows*WordsPerRow)
+	for r := range b.cells {
+		b.cells[r] = backing[r*WordsPerRow : (r+1)*WordsPerRow]
+	}
+	return b
+}
+
+func (b *Block) checkRow(row int) {
+	if row < 0 || row >= Rows {
+		panic(fmt.Sprintf("xbar: row %d out of range [0,%d)", row, Rows))
+	}
+}
+
+func (b *Block) checkOff(off int) {
+	if off < 0 || off >= WordsPerRow {
+		panic(fmt.Sprintf("xbar: word offset %d out of range [0,%d)", off, WordsPerRow))
+	}
+}
+
+// SetFloat stores a float32 directly into the cells (host-side data
+// loading; DRAM transaction costs are charged by the chip-level model, not
+// here).
+func (b *Block) SetFloat(row, off int, v float32) {
+	b.checkRow(row)
+	b.checkOff(off)
+	b.cells[row][off] = math.Float32bits(v)
+}
+
+// GetFloat reads a float32 from the cells.
+func (b *Block) GetFloat(row, off int) float32 {
+	b.checkRow(row)
+	b.checkOff(off)
+	return math.Float32frombits(b.cells[row][off])
+}
+
+// SetWord and GetWord are the raw bit-pattern accessors.
+func (b *Block) SetWord(row, off int, v uint32) {
+	b.checkRow(row)
+	b.checkOff(off)
+	b.cells[row][off] = v
+}
+
+func (b *Block) GetWord(row, off int) uint32 {
+	b.checkRow(row)
+	b.checkOff(off)
+	return b.cells[row][off]
+}
+
+// ReadRow loads a row into the row buffer (OpRead) and returns the buffer.
+func (b *Block) ReadRow(row int) []uint32 {
+	b.checkRow(row)
+	copy(b.buf, b.cells[row])
+	b.Stats.RowReads++
+	b.Stats.BusySec += params.BlockRowReadLatency
+	b.Stats.EnergyJ += params.RowBufferReadEnergyJ
+	return b.buf
+}
+
+// WriteRow stores the row buffer into a row (OpWrite).
+func (b *Block) WriteRow(row int) {
+	b.checkRow(row)
+	copy(b.cells[row], b.buf)
+	b.Stats.RowWrites++
+	b.Stats.BusySec += params.BlockRowWriteLatency
+	b.Stats.EnergyJ += params.RowBufferWriteEnergyJ
+}
+
+// LoadBuffer overwrites the row buffer with external payload (the
+// receiving half of an inter-block memcpy).
+func (b *Block) LoadBuffer(payload []uint32) {
+	if len(payload) != WordsPerRow {
+		panic(fmt.Sprintf("xbar: payload has %d words, want %d", len(payload), WordsPerRow))
+	}
+	copy(b.buf, payload)
+}
+
+// Buffer returns the current row buffer contents (the sending half of an
+// inter-block memcpy). The returned slice is a copy.
+func (b *Block) Buffer() []uint32 {
+	out := make([]uint32, WordsPerRow)
+	copy(out, b.buf)
+	return out
+}
+
+// ArithOp selects the row-parallel arithmetic operation.
+type ArithOp int
+
+const (
+	OpAdd ArithOp = iota
+	OpMul
+	OpSub
+)
+
+// ArithSel executes a row-parallel FP32 operation of the given kind.
+// Subtraction is bit-serial two's-complement-style and costs the same NOR
+// sequence length as addition.
+func (b *Block) ArithSel(op ArithOp, rowStart, rowCount, dstOff, srcOff, src2Off int) {
+	if rowCount < 0 || rowStart < 0 || rowStart+rowCount > Rows {
+		panic(fmt.Sprintf("xbar: row range [%d,%d) out of bounds", rowStart, rowStart+rowCount))
+	}
+	b.checkOff(dstOff)
+	b.checkOff(srcOff)
+	b.checkOff(src2Off)
+	var steps int64
+	if op == OpMul {
+		steps = params.NORStepsFPMul32
+	} else {
+		steps = params.NORStepsFPAdd32
+	}
+	for r := rowStart; r < rowStart+rowCount; r++ {
+		a := math.Float32frombits(b.cells[r][srcOff])
+		c := math.Float32frombits(b.cells[r][src2Off])
+		var v float32
+		switch op {
+		case OpAdd:
+			v = a + c
+		case OpMul:
+			v = a * c
+		case OpSub:
+			v = a - c
+		}
+		b.cells[r][dstOff] = math.Float32bits(v)
+	}
+	if op == OpMul {
+		b.Stats.MulOps += int64(rowCount)
+	} else {
+		b.Stats.AddOps += int64(rowCount)
+	}
+	b.Stats.NORSteps += steps
+	b.Stats.BusySec += float64(steps) * params.TNORSeconds
+	b.Stats.EnergyJ += float64(steps) * params.EnergyPerNORStep * float64(rowCount)
+}
+
+// Arith is ArithSel restricted to add/mul, kept as the common fast path.
+func (b *Block) Arith(mul bool, rowStart, rowCount, dstOff, srcOff, src2Off int) {
+	op := OpAdd
+	if mul {
+		op = OpMul
+	}
+	b.ArithSel(op, rowStart, rowCount, dstOff, srcOff, src2Off)
+}
+
+// GroupBcast rearranges data through the column buffers: rows in
+// [rowStart, rowStart+rowCount) are partitioned into groups of groupSize
+// members spaced stride rows apart, and every member's dstOff word is
+// overwritten with the groupIdx-th member's srcOff word. This is the
+// strided broadcast that feeds each step of a tensor-product derivative
+// dot product (one GroupBcast per dshape column).
+func (b *Block) GroupBcast(rowStart, rowCount, srcOff, dstOff, stride, groupSize, groupIdx int) {
+	if rowCount < 0 || rowStart < 0 || rowStart+rowCount > Rows {
+		panic(fmt.Sprintf("xbar: row range [%d,%d) out of bounds", rowStart, rowStart+rowCount))
+	}
+	b.checkOff(srcOff)
+	b.checkOff(dstOff)
+	if stride < 1 || groupSize < 1 || groupIdx < 0 || groupIdx >= groupSize {
+		panic(fmt.Sprintf("xbar: bad group geometry stride=%d size=%d idx=%d", stride, groupSize, groupIdx))
+	}
+	span := stride * groupSize
+	for r := rowStart; r < rowStart+rowCount; r++ {
+		rel := r - rowStart
+		base := rowStart + (rel/span)*span + rel%stride
+		src := base + groupIdx*stride
+		if src >= rowStart+rowCount {
+			continue // ragged tail group: leave untouched
+		}
+		b.cells[r][dstOff] = b.cells[src][srcOff]
+	}
+	b.Stats.CopiedRows += int64(rowCount)
+	b.Stats.BusySec += params.GroupBcastLatencySec
+	b.Stats.EnergyJ += params.GroupBcastEnergyJ
+}
+
+// Pattern distributes a per-axis constant from the storage rows into a
+// compute column: row r of [rowStart, rowStart+rowCount) gets
+// cells[baseRow + ((r-rowStart)/stride) mod groupSize][srcOff]. Same
+// column-buffer mechanism (and cost) as GroupBcast.
+func (b *Block) Pattern(baseRow, rowStart, rowCount, srcOff, dstOff, stride, groupSize int) {
+	b.checkRow(baseRow)
+	if rowCount < 0 || rowStart < 0 || rowStart+rowCount > Rows {
+		panic(fmt.Sprintf("xbar: row range [%d,%d) out of bounds", rowStart, rowStart+rowCount))
+	}
+	b.checkOff(srcOff)
+	b.checkOff(dstOff)
+	if stride < 1 || groupSize < 1 || baseRow+groupSize > Rows {
+		panic(fmt.Sprintf("xbar: bad pattern geometry base=%d stride=%d size=%d", baseRow, stride, groupSize))
+	}
+	for r := rowStart; r < rowStart+rowCount; r++ {
+		src := baseRow + ((r-rowStart)/stride)%groupSize
+		b.cells[r][dstOff] = b.cells[src][srcOff]
+	}
+	b.Stats.CopiedRows += int64(rowCount)
+	b.Stats.BusySec += params.GroupBcastLatencySec
+	b.Stats.EnergyJ += params.GroupBcastEnergyJ
+}
+
+// Broadcast replicates wordCount words starting at srcOff of srcRow into
+// dstOff of every row in [rowStart, rowStart+rowCount) — the constant
+// distribution step of Figure 5. It is implemented with the row drivers
+// (sequential row writes), so latency scales with the row count.
+func (b *Block) Broadcast(srcRow, rowStart, rowCount, srcOff, dstOff, wordCount int) {
+	b.checkRow(srcRow)
+	if rowCount < 0 || rowStart < 0 || rowStart+rowCount > Rows {
+		panic(fmt.Sprintf("xbar: broadcast row range [%d,%d) out of bounds", rowStart, rowStart+rowCount))
+	}
+	if wordCount < 0 || srcOff+wordCount > WordsPerRow || dstOff+wordCount > WordsPerRow {
+		panic(fmt.Sprintf("xbar: broadcast words [%d+%d / %d+%d] out of bounds", srcOff, wordCount, dstOff, wordCount))
+	}
+	src := b.cells[srcRow]
+	for r := rowStart; r < rowStart+rowCount; r++ {
+		copy(b.cells[r][dstOff:dstOff+wordCount], src[srcOff:srcOff+wordCount])
+	}
+	b.Stats.CopiedRows += int64(rowCount)
+	b.Stats.BusySec += params.BlockRowReadLatency + float64(rowCount)*params.BlockRowWriteLatency
+	b.Stats.EnergyJ += params.RowBufferReadEnergyJ + float64(rowCount)*params.RowBufferWriteEnergyJ
+}

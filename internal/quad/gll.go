@@ -1,0 +1,146 @@
+// Package quad provides Gauss-Legendre-Lobatto (GLL) quadrature rules and
+// the 1-D Lagrange differentiation matrices used by the nodal discontinuous
+// Galerkin discretization (the paper's "GLL Point", "GLL Weight" and
+// "dshape" constants of Table 1).
+package quad
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rule holds an N-point GLL rule on the reference interval [-1, 1] together
+// with the Lagrange differentiation matrix on its nodes.
+type Rule struct {
+	N       int         // number of points
+	Points  []float64   // GLL nodes, ascending, Points[0]=-1, Points[N-1]=+1
+	Weights []float64   // quadrature weights
+	D       [][]float64 // D[i][j] = l_j'(x_i), derivative matrix ("dshape")
+}
+
+// legendreAndDeriv evaluates the Legendre polynomial P_n and its derivative
+// P_n' at x using the three-term recurrence.
+func legendreAndDeriv(n int, x float64) (p, dp float64) {
+	if n == 0 {
+		return 1, 0
+	}
+	pm1, p := 1.0, x
+	for k := 2; k <= n; k++ {
+		pk := ((2*float64(k)-1)*x*p - (float64(k)-1)*pm1) / float64(k)
+		pm1, p = p, pk
+	}
+	// P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1); guard the endpoints.
+	if x == 1 || x == -1 {
+		dp = math.Pow(x, float64(n-1)) * float64(n) * float64(n+1) / 2
+		return p, dp
+	}
+	dp = float64(n) * (x*p - pm1) / (x*x - 1)
+	return p, dp
+}
+
+// New constructs the n-point GLL rule. It panics if n < 2 (a Lobatto rule
+// needs both endpoints).
+func New(n int) *Rule {
+	if n < 2 {
+		panic(fmt.Sprintf("quad: GLL rule needs n >= 2 points, got %d", n))
+	}
+	r := &Rule{
+		N:       n,
+		Points:  make([]float64, n),
+		Weights: make([]float64, n),
+	}
+	ord := n - 1 // polynomial order
+	r.Points[0], r.Points[n-1] = -1, 1
+	// Interior GLL nodes are the roots of P'_{n-1}. Use Newton iteration
+	// seeded with Chebyshev-Gauss-Lobatto points, solving for the extrema of
+	// P_{n-1} via the derivative of (1-x^2) P'_{n-1}(x) relation:
+	// interior nodes satisfy P'_{ord}(x) = 0.
+	for i := 1; i < n-1; i++ {
+		x := -math.Cos(math.Pi * float64(i) / float64(ord))
+		for iter := 0; iter < 100; iter++ {
+			_, dp := legendreAndDeriv(ord, x)
+			// Newton on f = P'_ord. f' = P''_ord from the Legendre ODE:
+			// (1-x^2) P'' - 2x P' + ord(ord+1) P = 0
+			p, _ := legendreAndDeriv(ord, x)
+			d2p := (2*x*dp - float64(ord*(ord+1))*p) / (1 - x*x)
+			dx := dp / d2p
+			x -= dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		r.Points[i] = x
+	}
+	// Enforce symmetry to kill residual Newton asymmetry.
+	for i := 0; i < n/2; i++ {
+		s := (r.Points[i] - r.Points[n-1-i]) / 2
+		r.Points[i], r.Points[n-1-i] = s, -s
+	}
+	// Weights: w_i = 2 / (ord (ord+1) [P_ord(x_i)]^2).
+	for i := 0; i < n; i++ {
+		p, _ := legendreAndDeriv(ord, r.Points[i])
+		r.Weights[i] = 2 / (float64(ord*(ord+1)) * p * p)
+	}
+	r.D = diffMatrix(r.Points)
+	return r
+}
+
+// diffMatrix builds the Lagrange differentiation matrix for the node set x:
+// D[i][j] = l_j'(x_i), using the barycentric form.
+func diffMatrix(x []float64) [][]float64 {
+	n := len(x)
+	// Barycentric weights.
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		w[j] = 1
+		for k := 0; k < n; k++ {
+			if k != j {
+				w[j] /= x[j] - x[k]
+			}
+		}
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d[i][j] = (w[j] / w[i]) / (x[i] - x[j])
+			rowSum += d[i][j]
+		}
+		d[i][i] = -rowSum // rows of D sum to zero (derivative of constant)
+	}
+	return d
+}
+
+// Differentiate applies the rule's differentiation matrix to the nodal
+// values u, writing l'(x_i) into out. len(u) and len(out) must equal N.
+func (r *Rule) Differentiate(u, out []float64) {
+	if len(u) != r.N || len(out) != r.N {
+		panic("quad: Differentiate length mismatch")
+	}
+	for i := 0; i < r.N; i++ {
+		var s float64
+		row := r.D[i]
+		for j := 0; j < r.N; j++ {
+			s += row[j] * u[j]
+		}
+		out[i] = s
+	}
+}
+
+// Integrate computes the quadrature sum of nodal values u.
+func (r *Rule) Integrate(u []float64) float64 {
+	if len(u) != r.N {
+		panic("quad: Integrate length mismatch")
+	}
+	var s float64
+	for i, w := range r.Weights {
+		s += w * u[i]
+	}
+	return s
+}

@@ -1,0 +1,212 @@
+package quad
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownGLLNodes(t *testing.T) {
+	// Reference values for small rules (Abramowitz & Stegun / standard
+	// spectral-methods texts).
+	cases := []struct {
+		n       int
+		points  []float64
+		weights []float64
+	}{
+		{2, []float64{-1, 1}, []float64{1, 1}},
+		{3, []float64{-1, 0, 1}, []float64{1.0 / 3, 4.0 / 3, 1.0 / 3}},
+		{4,
+			[]float64{-1, -math.Sqrt(1.0 / 5), math.Sqrt(1.0 / 5), 1},
+			[]float64{1.0 / 6, 5.0 / 6, 5.0 / 6, 1.0 / 6}},
+		{5,
+			[]float64{-1, -math.Sqrt(3.0 / 7), 0, math.Sqrt(3.0 / 7), 1},
+			[]float64{0.1, 49.0 / 90, 32.0 / 45, 49.0 / 90, 0.1}},
+	}
+	for _, c := range cases {
+		r := New(c.n)
+		for i := range c.points {
+			if math.Abs(r.Points[i]-c.points[i]) > 1e-12 {
+				t.Errorf("n=%d point %d: got %.15f want %.15f", c.n, i, r.Points[i], c.points[i])
+			}
+			if math.Abs(r.Weights[i]-c.weights[i]) > 1e-12 {
+				t.Errorf("n=%d weight %d: got %.15f want %.15f", c.n, i, r.Weights[i], c.weights[i])
+			}
+		}
+	}
+}
+
+func TestWeightsSumToTwo(t *testing.T) {
+	for n := 2; n <= 16; n++ {
+		r := New(n)
+		var s float64
+		for _, w := range r.Weights {
+			s += w
+		}
+		if math.Abs(s-2) > 1e-12 {
+			t.Errorf("n=%d: weights sum %.15f, want 2", n, s)
+		}
+	}
+}
+
+func TestNodesSymmetricAndSorted(t *testing.T) {
+	for n := 2; n <= 16; n++ {
+		r := New(n)
+		for i := 0; i < n/2; i++ {
+			if math.Abs(r.Points[i]+r.Points[n-1-i]) > 1e-13 {
+				t.Errorf("n=%d: nodes %d,%d not symmetric: %v %v", n, i, n-1-i, r.Points[i], r.Points[n-1-i])
+			}
+		}
+		for i := 1; i < n; i++ {
+			if r.Points[i] <= r.Points[i-1] {
+				t.Errorf("n=%d: nodes not strictly ascending at %d", n, i)
+			}
+		}
+	}
+}
+
+// GLL with n points integrates polynomials up to degree 2n-3 exactly.
+func TestPolynomialExactness(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		r := New(n)
+		maxDeg := 2*n - 3
+		for deg := 0; deg <= maxDeg; deg++ {
+			u := make([]float64, n)
+			for i, x := range r.Points {
+				u[i] = math.Pow(x, float64(deg))
+			}
+			got := r.Integrate(u)
+			var want float64
+			if deg%2 == 0 {
+				want = 2.0 / float64(deg+1)
+			}
+			if math.Abs(got-want) > 1e-10 {
+				t.Errorf("n=%d deg=%d: integral %.15f want %.15f", n, deg, got, want)
+			}
+		}
+	}
+}
+
+// The differentiation matrix is exact for polynomials of degree < n.
+func TestDifferentiationExactOnPolynomials(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		r := New(n)
+		for deg := 0; deg < n; deg++ {
+			u := make([]float64, n)
+			du := make([]float64, n)
+			for i, x := range r.Points {
+				u[i] = math.Pow(x, float64(deg))
+			}
+			r.Differentiate(u, du)
+			for i, x := range r.Points {
+				want := 0.0
+				if deg > 0 {
+					want = float64(deg) * math.Pow(x, float64(deg-1))
+				}
+				if math.Abs(du[i]-want) > 1e-9 {
+					t.Errorf("n=%d deg=%d node %d: d=%g want %g", n, deg, i, du[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestDiffMatrixRowsSumToZero(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		r := New(n)
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += r.D[i][j]
+			}
+			if math.Abs(s) > 1e-11 {
+				t.Errorf("n=%d row %d sums to %g", n, i, s)
+			}
+		}
+	}
+}
+
+// Property: differentiation is linear. D(a*u + b*v) = a*Du + b*Dv.
+func TestDifferentiateLinearityProperty(t *testing.T) {
+	r := New(8)
+	f := func(seedU, seedV [8]float64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		// Clamp magnitudes so float error stays bounded.
+		a = math.Mod(a, 100)
+		b = math.Mod(b, 100)
+		u, v, w := make([]float64, 8), make([]float64, 8), make([]float64, 8)
+		for i := 0; i < 8; i++ {
+			u[i] = math.Mod(seedU[i], 100)
+			v[i] = math.Mod(seedV[i], 100)
+			if math.IsNaN(u[i]) {
+				u[i] = 0
+			}
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+			w[i] = a*u[i] + b*v[i]
+		}
+		du, dv, dw := make([]float64, 8), make([]float64, 8), make([]float64, 8)
+		r.Differentiate(u, du)
+		r.Differentiate(v, dv)
+		r.Differentiate(w, dw)
+		for i := 0; i < 8; i++ {
+			want := a*du[i] + b*dv[i]
+			if math.Abs(dw[i]-want) > 1e-6*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Spectral accuracy: differentiating sin(x) on increasing N converges
+// geometrically.
+func TestSpectralConvergence(t *testing.T) {
+	prevErr := math.Inf(1)
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		r := New(n)
+		u, du := make([]float64, n), make([]float64, n)
+		for i, x := range r.Points {
+			u[i] = math.Sin(x)
+		}
+		r.Differentiate(u, du)
+		var maxErr float64
+		for i, x := range r.Points {
+			if e := math.Abs(du[i] - math.Cos(x)); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > prevErr {
+			t.Errorf("n=%d: error %g did not decrease from %g", n, maxErr, prevErr)
+		}
+		prevErr = maxErr
+	}
+	if prevErr > 1e-10 {
+		t.Errorf("n=12 error %g, want spectral accuracy < 1e-10", prevErr)
+	}
+}
+
+func TestNewPanicsOnTooFewPoints(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1) did not panic")
+		}
+	}()
+	New(1)
+}
+
+func TestDifferentiateLengthMismatchPanics(t *testing.T) {
+	r := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	r.Differentiate(make([]float64, 3), make([]float64, 4))
+}

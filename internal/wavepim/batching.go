@@ -1,0 +1,214 @@
+package wavepim
+
+import (
+	"fmt"
+
+	"wavepim/internal/mesh"
+)
+
+// The Figure 7 flux batching schedule. When the model does not fit
+// on-chip, it folds through the chip in whole slices along one axis
+// (the paper slices along y; this package slices along z, the axis the
+// mesh's Slice decomposition uses — the schedule is axis-symmetric). The
+// two intra-slice axes need no inter-slice data, so their flux computes
+// batch-locally; the slicing axis's flux pairs neighboring slices and
+// needs the Figure 7 choreography: the minus-normal pairs (0,1), (2,3),
+// ... stay inside a batch, while the plus-normal pairs (1,2), (3,4), ...
+// straddle the batch boundary and force one extra slice load.
+
+// FluxStepKind classifies a schedule step.
+type FluxStepKind int
+
+const (
+	// StepLoad moves slices from off-chip DRAM into the PIM.
+	StepLoad FluxStepKind = iota
+	// StepStore moves slices back to DRAM.
+	StepStore
+	// StepFlux computes flux for an axis/normal over a slice range.
+	StepFlux
+)
+
+func (k FluxStepKind) String() string {
+	switch k {
+	case StepLoad:
+		return "load"
+	case StepStore:
+		return "store"
+	case StepFlux:
+		return "flux"
+	}
+	return fmt.Sprintf("FluxStepKind(%d)", int(k))
+}
+
+// FluxStep is one step of the Figure 7 schedule. Slice ranges are
+// inclusive.
+type FluxStep struct {
+	Kind        FluxStepKind
+	First, Last int
+	Axis        mesh.Axis // StepFlux only
+	Signs       []int     // StepFlux only: normal directions covered
+}
+
+func (s FluxStep) String() string {
+	switch s.Kind {
+	case StepFlux:
+		return fmt.Sprintf("flux %v%v slices %d-%d", s.Axis, s.Signs, s.First, s.Last)
+	default:
+		return fmt.Sprintf("%v slices %d-%d", s.Kind, s.First, s.Last)
+	}
+}
+
+// SliceCount returns how many slices the step touches.
+func (s FluxStep) SliceCount() int { return s.Last - s.First + 1 }
+
+// FluxBatchSchedule generates the Figure 7 schedule for numSlices slices
+// processed slicesPerBatch at a time, slicing along sliceAxis. With
+// numSlices == slicesPerBatch it degenerates to the unbatched six-face
+// schedule.
+func FluxBatchSchedule(numSlices, slicesPerBatch int, sliceAxis mesh.Axis) []FluxStep {
+	if numSlices < 2 || slicesPerBatch < 2 || numSlices%slicesPerBatch != 0 {
+		panic(fmt.Sprintf("wavepim: bad batch geometry %d/%d", numSlices, slicesPerBatch))
+	}
+	intra := otherAxes(sliceAxis)
+	batches := numSlices / slicesPerBatch
+	var steps []FluxStep
+
+	for k := 0; k < batches; k++ {
+		a := k * slicesPerBatch
+		b := a + slicesPerBatch - 1
+		if k == 0 {
+			// (1) Load the first batch.
+			steps = append(steps, FluxStep{Kind: StepLoad, First: a, Last: b})
+		}
+		// (2, 3) Intra-slice axes, both normals, no inter-slice traffic.
+		for _, ax := range intra {
+			steps = append(steps, FluxStep{Kind: StepFlux, First: a, Last: b,
+				Axis: mesh.Axis(ax), Signs: []int{-1, +1}})
+		}
+		// (4) Slicing axis, normal -1: pairs (a,a+1), (a+2,a+3), ... are
+		// batch-local.
+		steps = append(steps, FluxStep{Kind: StepFlux, First: a, Last: b,
+			Axis: sliceAxis, Signs: []int{-1}})
+		if k < batches-1 {
+			// (5) Evict the first slice, load the next batch's first.
+			steps = append(steps,
+				FluxStep{Kind: StepStore, First: a, Last: a},
+				FluxStep{Kind: StepLoad, First: b + 1, Last: b + 1})
+			// (6) Slicing axis, normal +1: pairs (a+1,a+2) ... (b,b+1).
+			steps = append(steps, FluxStep{Kind: StepFlux, First: a + 1, Last: b + 1,
+				Axis: sliceAxis, Signs: []int{+1}})
+			// (7) Store the rest of this batch, load the rest of the next.
+			steps = append(steps, FluxStep{Kind: StepStore, First: a + 1, Last: b})
+			if b+2 <= (k+2)*slicesPerBatch-1 {
+				steps = append(steps, FluxStep{Kind: StepLoad, First: b + 2, Last: (k+2)*slicesPerBatch - 1})
+			}
+		} else {
+			// (11) Final batch: the interior +1 pairs.
+			if a+1 <= b-1 {
+				steps = append(steps, FluxStep{Kind: StepFlux, First: a + 1, Last: b - 1,
+					Axis: sliceAxis, Signs: []int{+1}})
+			}
+			// (12) Store everything still resident.
+			steps = append(steps, FluxStep{Kind: StepStore, First: a, Last: b})
+		}
+	}
+	return steps
+}
+
+// ValidateSchedule checks the schedule's correctness invariants: every
+// slice is loaded before any flux step touches it, every slice is stored
+// exactly once after its last use, residency never exceeds
+// slicesPerBatch+1 (the Figure 7 working set), and every slicing-axis
+// neighbor pair is flux-covered under each normal exactly once.
+func ValidateSchedule(steps []FluxStep, numSlices, slicesPerBatch int, sliceAxis mesh.Axis) error {
+	resident := make(map[int]bool)
+	loaded := make(map[int]int)
+	stored := make(map[int]int)
+	// pairCovered[p][signIdx]: pair (p, p+1) covered under -1 / +1.
+	minusPairs := make(map[int]int)
+	plusPairs := make(map[int]int)
+	maxResident := 0
+
+	for _, s := range steps {
+		switch s.Kind {
+		case StepLoad:
+			for i := s.First; i <= s.Last; i++ {
+				if resident[i] {
+					return fmt.Errorf("slice %d loaded while resident", i)
+				}
+				resident[i] = true
+				loaded[i]++
+			}
+		case StepStore:
+			for i := s.First; i <= s.Last; i++ {
+				if !resident[i] {
+					return fmt.Errorf("slice %d stored while not resident", i)
+				}
+				delete(resident, i)
+				stored[i]++
+			}
+		case StepFlux:
+			for i := s.First; i <= s.Last; i++ {
+				if !resident[i] {
+					return fmt.Errorf("flux step %v touches non-resident slice %d", s, i)
+				}
+			}
+			if s.Axis == sliceAxis {
+				for _, sign := range s.Signs {
+					if sign < 0 {
+						// Pairs (even, even+1) within [First, Last].
+						for p := s.First; p+1 <= s.Last; p += 2 {
+							minusPairs[p]++
+						}
+					} else {
+						// Pairs (odd, odd+1) within [First, Last].
+						for p := s.First; p+1 <= s.Last; p += 2 {
+							plusPairs[p]++
+						}
+					}
+				}
+			}
+		}
+		if len(resident) > maxResident {
+			maxResident = len(resident)
+		}
+	}
+	for i := 0; i < numSlices; i++ {
+		if loaded[i] != 1 {
+			return fmt.Errorf("slice %d loaded %d times", i, loaded[i])
+		}
+		if stored[i] != 1 {
+			return fmt.Errorf("slice %d stored %d times", i, stored[i])
+		}
+	}
+	if maxResident > slicesPerBatch+1 {
+		return fmt.Errorf("residency peaked at %d slices, budget is %d+1", maxResident, slicesPerBatch)
+	}
+	// Pair coverage: minus pairs start at even indices, plus at odd.
+	for p := 0; p+1 < numSlices; p += 2 {
+		if minusPairs[p] != 1 {
+			return fmt.Errorf("minus-normal pair (%d,%d) covered %d times", p, p+1, minusPairs[p])
+		}
+	}
+	for p := 1; p+1 < numSlices; p += 2 {
+		if plusPairs[p] != 1 {
+			return fmt.Errorf("plus-normal pair (%d,%d) covered %d times", p, p+1, plusPairs[p])
+		}
+	}
+	return nil
+}
+
+// ScheduleDRAMSlices counts the schedule's load and store slice-moves —
+// the off-chip traffic Figure 7's choreography costs beyond a fully
+// resident run.
+func ScheduleDRAMSlices(steps []FluxStep) (loads, stores int) {
+	for _, s := range steps {
+		switch s.Kind {
+		case StepLoad:
+			loads += s.SliceCount()
+		case StepStore:
+			stores += s.SliceCount()
+		}
+	}
+	return
+}

@@ -1,0 +1,132 @@
+package wavepim
+
+import (
+	"testing"
+
+	"wavepim/internal/mesh"
+)
+
+// The paper's exact Figure 7 scenario: 32 slices, 16 resident (a
+// refinement-5 model on a 2 GB chip). The generated schedule must follow
+// the twelve-step choreography.
+func TestFigure7Schedule32x16(t *testing.T) {
+	steps := FluxBatchSchedule(32, 16, mesh.AxisZ)
+	if err := ValidateSchedule(steps, 32, 16, mesh.AxisZ); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the choreography (the paper's step numbers in comments).
+	expect := []struct {
+		kind        FluxStepKind
+		first, last int
+	}{
+		{StepLoad, 0, 15},   // (1) load slices 0-15
+		{StepFlux, 0, 15},   // (2) x axis (-1,+1)
+		{StepFlux, 0, 15},   // (3) other intra axis (-1,+1)
+		{StepFlux, 0, 15},   // (4) slicing axis (-1)
+		{StepStore, 0, 0},   // (5) store slice 0 ...
+		{StepLoad, 16, 16},  //     ... load slice 16
+		{StepFlux, 1, 16},   // (6) slicing axis (+1) for 1-16
+		{StepStore, 1, 15},  // (7) store 1-15 ...
+		{StepLoad, 17, 31},  //     ... load 17-31
+		{StepFlux, 16, 31},  // (8) x axis
+		{StepFlux, 16, 31},  // (9) other intra axis
+		{StepFlux, 16, 31},  // (10) slicing axis (-1)
+		{StepFlux, 17, 30},  // (11) slicing axis (+1) for 17-30
+		{StepStore, 16, 31}, // (12) store 16-31
+	}
+	if len(steps) != len(expect) {
+		for _, s := range steps {
+			t.Log(s)
+		}
+		t.Fatalf("schedule has %d steps, want %d", len(steps), len(expect))
+	}
+	for i, e := range expect {
+		s := steps[i]
+		if s.Kind != e.kind || s.First != e.first || s.Last != e.last {
+			t.Errorf("step %d: got %v, want %v slices %d-%d", i, s, e.kind, e.first, e.last)
+		}
+	}
+	// The extra DRAM traffic versus a resident run: every slice moves
+	// exactly once each way.
+	loads, stores := ScheduleDRAMSlices(steps)
+	if loads != 32 || stores != 32 {
+		t.Errorf("DRAM slice moves %d/%d, want 32/32", loads, stores)
+	}
+}
+
+// Property-style sweep: the schedule validates for every divisor
+// batching of several model sizes and all three slicing axes.
+func TestScheduleValidatesAcrossGeometries(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		for _, per := range []int{2, 4, 8, 16, 32} {
+			if per > n || n%per != 0 {
+				continue
+			}
+			for ax := mesh.AxisX; ax <= mesh.AxisZ; ax++ {
+				steps := FluxBatchSchedule(n, per, ax)
+				if err := ValidateSchedule(steps, n, per, ax); err != nil {
+					t.Errorf("n=%d per=%d axis=%v: %v", n, per, ax, err)
+				}
+			}
+		}
+	}
+}
+
+// Unbatched degenerate case: one batch, no intermediate stores/loads.
+func TestScheduleUnbatched(t *testing.T) {
+	steps := FluxBatchSchedule(16, 16, mesh.AxisZ)
+	if err := ValidateSchedule(steps, 16, 16, mesh.AxisZ); err != nil {
+		t.Fatal(err)
+	}
+	loads, stores := ScheduleDRAMSlices(steps)
+	if loads != 16 || stores != 16 {
+		t.Errorf("unbatched run should load and store the model once: %d/%d", loads, stores)
+	}
+	// Exactly one load, one store, four flux steps.
+	var fluxSteps int
+	for _, s := range steps {
+		if s.Kind == StepFlux {
+			fluxSteps++
+		}
+	}
+	if fluxSteps != 4 {
+		t.Errorf("%d flux steps, want 4 (two intra axes + two slicing normals)", fluxSteps)
+	}
+}
+
+// The residency budget: the schedule never holds more than
+// slicesPerBatch+1 slices (the Figure 7 working set with the one extra
+// boundary slice).
+func TestScheduleResidencyBudget(t *testing.T) {
+	steps := FluxBatchSchedule(64, 8, mesh.AxisZ)
+	if err := ValidateSchedule(steps, 64, 8, mesh.AxisZ); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulePanicsOnBadGeometry(t *testing.T) {
+	for i, fn := range []func(){
+		func() { FluxBatchSchedule(10, 3, mesh.AxisZ) }, // not divisible
+		func() { FluxBatchSchedule(8, 1, mesh.AxisZ) },  // degenerate batch
+		func() { FluxBatchSchedule(1, 1, mesh.AxisZ) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFluxStepStrings(t *testing.T) {
+	s := FluxStep{Kind: StepFlux, First: 0, Last: 15, Axis: mesh.AxisY, Signs: []int{-1}}
+	if got := s.String(); got != "flux y[-1] slices 0-15" {
+		t.Errorf("String() = %q", got)
+	}
+	if StepLoad.String() != "load" || StepStore.String() != "store" {
+		t.Error("kind strings wrong")
+	}
+}

@@ -1,0 +1,321 @@
+package wavepim
+
+import (
+	"fmt"
+
+	"wavepim/internal/dg"
+	"wavepim/internal/material"
+	"wavepim/internal/mesh"
+	"wavepim/internal/pim/isa"
+	"wavepim/internal/pim/sim"
+)
+
+// Acoustic four-block (E_p) programs, Figures 8 and 9: the computations of
+// pressure and velocity are distributed to four blocks (one for p, three
+// for v), processed in parallel, "with an overhead of data duplication and
+// inter-block data movement".
+//
+// Role column usage (Ex* layout):
+//
+//	P-block:  var0 = p; remote0..2 receive the three div-v pieces;
+//	          remote3..5 receive the three flux pressure pieces.
+//	V-block a: var0 = v[a]; remote0 = duplicated p; remote1 accumulates
+//	          this block's flux pressure piece; nbr0/nbr1 = neighbor p and
+//	          neighbor v[a] face values.
+
+// VolumeVBlock compiles the Volume work of velocity block a: grad p along
+// a (feeding its own velocity contribution) and the axis-a piece of div v
+// (left in accDiv for the transfer to the P-block).
+func (c *Compiler) VolumeVBlock(a mesh.Axis) []isa.Instr {
+	b := &progBuilder{np: c.Np, nn: c.nn()}
+	b.distributeD(ExColD, a)
+	b.dot(ExColRemote+0, ExColAcc, ExColTmp1, ExColTmp2, ExColD, a)
+	b.bconst(RowScalarConsts, ConstNegInvRho, ExColConstA)
+	b.mul(ExColContrib, ExColAcc, ExColConstA)
+	b.dot(ExColVar0, ExColAccDiv, ExColTmp1, ExColTmp2, ExColD, a)
+	return b.ins
+}
+
+// VolumePBlock compiles the Volume work of the pressure block: sum the
+// three div pieces and scale by -kappa ("jacobian_det_w_star has to be
+// calculated four times and ... div_v has to be transferred across blocks",
+// Section 6.2.1).
+func (c *Compiler) VolumePBlock() []isa.Instr {
+	b := &progBuilder{np: c.Np, nn: c.nn()}
+	b.add(ExColTmp1, ExColRemote+0, ExColRemote+1)
+	b.add(ExColTmp1, ExColTmp1, ExColRemote+2)
+	b.bconst(RowScalarConsts, ConstNegKappa, ExColConstA)
+	b.mul(ExColContrib, ExColTmp1, ExColConstA)
+	return b.ins
+}
+
+// FluxVBlock compiles the Flux work of velocity block a for one of its two
+// faces. first marks the block's first face of the stage (the pressure
+// piece accumulator is overwritten rather than accumulated).
+func (c *Compiler) FluxVBlock(f mesh.Face, first bool) []isa.Instr {
+	if f.Axis() == mesh.AxisX && false {
+		panic("unreachable")
+	}
+	b := &progBuilder{np: c.Np, nn: c.nn()}
+	a := f.Axis()
+	maskWord := 0
+	if f.Sign() > 0 {
+		maskWord = 1
+	}
+	b.pattern(RowMaskBase, a, maskWord, ExColD)
+	// dV = v[a] - nbr v[a]; dP = p(copy) - nbr p.
+	b.sub(ExColTmp1, ExColVar0, ExColNbr1)
+	b.sub(ExColTmp2, ExColRemote+0, ExColNbr0)
+	// Pressure piece: mask * (c1*dV [+ c2*dP]) accumulated in remote1.
+	b.bconst(RowFluxConsts, 4*int(f)+0, ExColConstA)
+	b.mul(ExColAcc, ExColTmp1, ExColConstA)
+	if c.Flux == dg.RiemannFlux {
+		b.bconst(RowFluxConsts, 4*int(f)+1, ExColConstB)
+		b.mul(ExColAccDiv, ExColTmp2, ExColConstB)
+		b.add(ExColAcc, ExColAcc, ExColAccDiv)
+	}
+	b.mul(ExColAcc, ExColAcc, ExColD)
+	if first {
+		b.bconst(RowScalarConsts, ConstZero, ExColConstB)
+		b.mul(ExColRemote+1, ExColRemote+1, ExColConstB) // clear accumulator
+	}
+	b.add(ExColRemote+1, ExColRemote+1, ExColAcc)
+	// Own velocity contribution: mask * (c3*dP [+ c4*dV]).
+	b.bconst(RowFluxConsts, 4*int(f)+2, ExColConstA)
+	b.mul(ExColAcc, ExColTmp2, ExColConstA)
+	if c.Flux == dg.RiemannFlux {
+		b.bconst(RowFluxConsts, 4*int(f)+3, ExColConstB)
+		b.mul(ExColAccDiv, ExColTmp1, ExColConstB)
+		b.add(ExColAcc, ExColAcc, ExColAccDiv)
+	}
+	b.mul(ExColAcc, ExColAcc, ExColD)
+	b.add(ExColContrib, ExColContrib, ExColAcc)
+	return b.ins
+}
+
+// FluxPBlockGather adds the three collected flux pressure pieces into the
+// pressure contribution.
+func (c *Compiler) FluxPBlockGather() []isa.Instr {
+	b := &progBuilder{np: c.Np, nn: c.nn()}
+	b.add(ExColContrib, ExColContrib, ExColRemote+3)
+	b.add(ExColContrib, ExColContrib, ExColRemote+4)
+	b.add(ExColContrib, ExColContrib, ExColRemote+5)
+	return b.ins
+}
+
+// IntegrationExpanded compiles one LSRK stage for a single-variable block
+// of the expanded layout.
+func (c *Compiler) IntegrationExpanded(stage int) []isa.Instr {
+	return c.integration(stage, 1, ExColVar0, ExColAux, ExColContrib,
+		ExColTmp1, ExColConstA, ExColConstB)
+}
+
+// ---------------------------------------------------------------------------
+// Expanded functional system
+// ---------------------------------------------------------------------------
+
+// FunctionalAcousticExpanded executes the four-block E_p acoustic mapping
+// functionally, verifying the expansion technique end to end.
+type FunctionalAcousticExpanded struct {
+	Mesh   *mesh.Mesh
+	Mat    material.Acoustic
+	Comp   *Compiler
+	Place  *Placement
+	Engine *sim.Engine
+	Dt     float64
+}
+
+// NewFunctionalAcousticExpanded builds the expanded functional system.
+func NewFunctionalAcousticExpanded(m *mesh.Mesh, mat material.Acoustic, flux dg.FluxType, dt float64) (*FunctionalAcousticExpanded, error) {
+	if !m.Periodic {
+		return nil, fmt.Errorf("wavepim: functional runs require a periodic mesh")
+	}
+	chipCfg := chipFor(m.NumElem * 4)
+	ch, err := newChip(chipCfg)
+	if err != nil {
+		return nil, err
+	}
+	plan := Plan{Tech: ExpandParallel, Layout: AcousticFourBlock, SlotsPerElem: 4, Chip: chipCfg}
+	return &FunctionalAcousticExpanded{
+		Mesh:   m,
+		Mat:    mat,
+		Comp:   NewCompiler(plan, m.Np, flux),
+		Place:  NewPlacement(AcousticFourBlock, m.EPerAxis, true),
+		Engine: sim.New(ch, true),
+		Dt:     dt,
+	}, nil
+}
+
+// roleBlock resolves the block of (element, role).
+func (f *FunctionalAcousticExpanded) roleBlock(e int, role BlockRole) int {
+	ex, ey, ez := f.Mesh.ElemCoords(e)
+	return f.Place.BlockFor(ex, ey, ez, role)
+}
+
+// Load writes constants and the initial state.
+func (f *FunctionalAcousticExpanded) Load(q *dg.AcousticState) {
+	nn := f.Mesh.NodesPerEl
+	for e := 0; e < f.Mesh.NumElem; e++ {
+		for _, role := range []BlockRole{RolePressure, RoleVelX, RoleVelY, RoleVelZ} {
+			b := f.Engine.Chip.Block(f.roleBlock(e, role))
+			f.Comp.LoadAcousticConstants(b, f.Mesh, f.Mat, f.Dt)
+			var src []float64
+			switch role {
+			case RolePressure:
+				src = q.P
+			case RoleVelX:
+				src = q.V[0]
+			case RoleVelY:
+				src = q.V[1]
+			case RoleVelZ:
+				src = q.V[2]
+			}
+			for n := 0; n < nn; n++ {
+				b.SetFloat(n, ExColVar0, float32(src[e*nn+n]))
+				b.SetFloat(n, ExColAux, 0)
+			}
+		}
+	}
+}
+
+// columnTransfer builds per-row transfers copying a full column between two
+// blocks.
+func columnTransfer(src, dst, srcOff, dstOff, rows int) []sim.RowTransfer {
+	out := make([]sim.RowTransfer, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = sim.RowTransfer{SrcBlock: src, SrcRow: r, SrcOff: srcOff,
+			DstBlock: dst, DstRow: r, DstOff: dstOff, Words: 1}
+	}
+	return out
+}
+
+// Step runs one five-stage time-step.
+func (f *FunctionalAcousticExpanded) Step() {
+	eng := f.Engine
+	m := f.Mesh
+	nn := m.NodesPerEl
+	velRoles := []BlockRole{RoleVelX, RoleVelY, RoleVelZ}
+
+	for s := 0; s < dg.NumStages; s++ {
+		// 1. Duplicate p into the velocity blocks.
+		var dup []sim.RowTransfer
+		for e := 0; e < m.NumElem; e++ {
+			p := f.roleBlock(e, RolePressure)
+			for _, role := range velRoles {
+				dup = append(dup, columnTransfer(p, f.roleBlock(e, role), ExColVar0, ExColRemote+0, nn)...)
+			}
+		}
+		eng.Sequence(eng.ExecTransfers("dup-p", dup))
+
+		// 2. Velocity-block Volume (all three axes in parallel).
+		progs := make(map[int][]isa.Instr)
+		for e := 0; e < m.NumElem; e++ {
+			for a, role := range velRoles {
+				progs[f.roleBlock(e, role)] = f.volumeV(a)
+			}
+		}
+		eng.Sequence(eng.ExecBlocks("volume-v", progs))
+
+		// 3. Ship div pieces to the pressure block; combine there.
+		var div []sim.RowTransfer
+		for e := 0; e < m.NumElem; e++ {
+			p := f.roleBlock(e, RolePressure)
+			for a, role := range velRoles {
+				div = append(div, columnTransfer(f.roleBlock(e, role), p, ExColAccDiv, ExColRemote+a, nn)...)
+			}
+		}
+		eng.Sequence(eng.ExecTransfers("div-pieces", div))
+		pprogs := make(map[int][]isa.Instr)
+		for e := 0; e < m.NumElem; e++ {
+			pprogs[f.roleBlock(e, RolePressure)] = f.volumeP()
+		}
+		eng.Sequence(eng.ExecBlocks("volume-p", pprogs))
+
+		// 4. Flux: two sign phases; within each, the three axis blocks
+		// work in parallel (Figure 9).
+		for signIdx := 0; signIdx < 2; signIdx++ {
+			var fetch []sim.RowTransfer
+			fprogs := make(map[int][]isa.Instr)
+			for a := mesh.AxisX; a <= mesh.AxisZ; a++ {
+				face := mesh.Face(2*int(a) + signIdx)
+				myRows := m.FaceNodes(face)
+				nbRows := m.FaceNodes(face.Opposite())
+				for e := 0; e < m.NumElem; e++ {
+					nb, ok := m.Neighbor(e, face)
+					if !ok {
+						continue
+					}
+					dst := f.roleBlock(e, velRoles[a])
+					srcP := f.roleBlock(nb, RolePressure)
+					srcV := f.roleBlock(nb, velRoles[a])
+					for g := range myRows {
+						fetch = append(fetch,
+							sim.RowTransfer{SrcBlock: srcP, SrcRow: nbRows[g], SrcOff: ExColVar0,
+								DstBlock: dst, DstRow: myRows[g], DstOff: ExColNbr0, Words: 1},
+							sim.RowTransfer{SrcBlock: srcV, SrcRow: nbRows[g], SrcOff: ExColVar0,
+								DstBlock: dst, DstRow: myRows[g], DstOff: ExColNbr1, Words: 1})
+					}
+					fprogs[dst] = f.fluxV(face, signIdx == 0)
+				}
+			}
+			eng.Sequence(eng.ExecTransfers(fmt.Sprintf("flux-fetch-%d", signIdx), fetch))
+			eng.Sequence(eng.ExecBlocks(fmt.Sprintf("flux-%d", signIdx), fprogs))
+		}
+		// Gather the pressure pieces.
+		var gather []sim.RowTransfer
+		gprogs := make(map[int][]isa.Instr)
+		for e := 0; e < m.NumElem; e++ {
+			p := f.roleBlock(e, RolePressure)
+			for a, role := range velRoles {
+				gather = append(gather, columnTransfer(f.roleBlock(e, role), p, ExColRemote+1, ExColRemote+3+a, nn)...)
+			}
+			gprogs[p] = f.fluxGather()
+		}
+		eng.Sequence(eng.ExecTransfers("flux-p-pieces", gather))
+		eng.Sequence(eng.ExecBlocks("flux-p-gather", gprogs))
+
+		// 5. Integration on all four blocks in parallel.
+		iprogs := make(map[int][]isa.Instr)
+		integ := f.Comp.IntegrationExpanded(s)
+		for e := 0; e < m.NumElem; e++ {
+			for _, role := range []BlockRole{RolePressure, RoleVelX, RoleVelY, RoleVelZ} {
+				iprogs[f.roleBlock(e, role)] = integ
+			}
+		}
+		eng.Sequence(eng.ExecBlocks("integration", iprogs))
+	}
+}
+
+// Cached program templates.
+func (f *FunctionalAcousticExpanded) volumeV(a int) []isa.Instr {
+	return f.Comp.VolumeVBlock(mesh.Axis(a))
+}
+func (f *FunctionalAcousticExpanded) volumeP() []isa.Instr { return f.Comp.VolumePBlock() }
+func (f *FunctionalAcousticExpanded) fluxV(face mesh.Face, first bool) []isa.Instr {
+	return f.Comp.FluxVBlock(face, first)
+}
+func (f *FunctionalAcousticExpanded) fluxGather() []isa.Instr { return f.Comp.FluxPBlockGather() }
+
+// Run executes n time-steps.
+func (f *FunctionalAcousticExpanded) Run(n int) {
+	for i := 0; i < n; i++ {
+		f.Step()
+	}
+}
+
+// ReadState extracts the variables.
+func (f *FunctionalAcousticExpanded) ReadState(q *dg.AcousticState) {
+	nn := f.Mesh.NodesPerEl
+	for e := 0; e < f.Mesh.NumElem; e++ {
+		pb := f.Engine.Chip.Block(f.roleBlock(e, RolePressure))
+		for n := 0; n < nn; n++ {
+			q.P[e*nn+n] = float64(pb.GetFloat(n, ExColVar0))
+		}
+		for a, role := range []BlockRole{RoleVelX, RoleVelY, RoleVelZ} {
+			vb := f.Engine.Chip.Block(f.roleBlock(e, role))
+			for n := 0; n < nn; n++ {
+				q.V[a][e*nn+n] = float64(vb.GetFloat(n, ExColVar0))
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package wavepim
+
+import (
+	"fmt"
+
+	"wavepim/internal/dg"
+	"wavepim/internal/material"
+	"wavepim/internal/mesh"
+	"wavepim/internal/pim/chip"
+	"wavepim/internal/pim/isa"
+	"wavepim/internal/pim/sim"
+)
+
+// chipFor picks the smallest evaluation chip configuration with at least n
+// blocks (functional meshes are small, so this is almost always 512 MB).
+func chipFor(nBlocks int) chip.Config {
+	for _, cfg := range chip.AllConfigs() {
+		if cfg.NumBlocks() >= nBlocks {
+			return cfg
+		}
+	}
+	return chip.Config16GB()
+}
+
+// newChip wraps chip.New for the functional constructors.
+func newChip(cfg chip.Config) (*chip.Chip, error) { return chip.New(cfg) }
+
+// FunctionalAcoustic is a fully functional PIM execution of the acoustic
+// simulation on the naive one-block layout: every float32 value lives in
+// crossbar cells and every kernel runs as compiled PIM instructions. It
+// exists to verify, node for node, that the compiled Wave-PIM programs
+// compute the same semi-discrete system as the internal/dg reference
+// solver.
+type FunctionalAcoustic struct {
+	Mesh   *mesh.Mesh
+	Mat    material.Acoustic
+	Comp   *Compiler
+	Place  *Placement
+	Engine *sim.Engine
+	Dt     float64
+
+	volume []isa.Instr
+	flux   [mesh.NumFaces][]isa.Instr
+	fetch  [mesh.NumFaces][]sim.RowTransfer
+	integ  [dg.NumStages][]isa.Instr
+	blocks []int // block ID per element
+}
+
+// NewFunctionalAcoustic builds the functional system on a 512MB chip. The
+// mesh must be periodic (every element has six neighbors, as in the
+// paper's benchmark meshes) and small enough to fit without batching.
+func NewFunctionalAcoustic(m *mesh.Mesh, mat material.Acoustic, flux dg.FluxType, dt float64) (*FunctionalAcoustic, error) {
+	if !m.Periodic {
+		return nil, fmt.Errorf("wavepim: functional acoustic requires a periodic mesh")
+	}
+	cfg := chip.Config512MB()
+	if m.NumElem > cfg.NumBlocks() {
+		return nil, fmt.Errorf("wavepim: %d elements exceed the functional chip's %d blocks", m.NumElem, cfg.NumBlocks())
+	}
+	ch, err := chip.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	plan := Plan{Tech: Naive, Layout: AcousticOneBlock, SlotsPerElem: 1,
+		Chip: cfg, SlicesPerBatch: m.NumSlices(), NumSlices: m.NumSlices(), Batches: 1,
+		ElemsPerSlice: m.EPerAxis * m.EPerAxis}
+	f := &FunctionalAcoustic{
+		Mesh:   m,
+		Mat:    mat,
+		Comp:   NewCompiler(plan, m.Np, flux),
+		Place:  NewPlacement(AcousticOneBlock, m.EPerAxis, true),
+		Engine: sim.New(ch, true),
+		Dt:     dt,
+	}
+	f.volume = f.Comp.VolumeOneBlock()
+	for face := mesh.Face(0); face < mesh.NumFaces; face++ {
+		f.flux[face] = f.Comp.FluxOneBlock(face)
+		f.fetch[face] = f.Comp.FluxTransfersOneBlock(m, f.Place, face, true)
+	}
+	for s := 0; s < dg.NumStages; s++ {
+		f.integ[s] = f.Comp.IntegrationOneBlock(s)
+	}
+	f.blocks = make([]int, m.NumElem)
+	for e := range f.blocks {
+		ex, ey, ez := m.ElemCoords(e)
+		f.blocks[e] = f.Place.BlockFor(ex, ey, ez, RoleAll)
+	}
+	return f, nil
+}
+
+// Load writes constants and the initial state into the chip, with the
+// same material everywhere.
+func (f *FunctionalAcoustic) Load(q *dg.AcousticState) {
+	f.LoadField(q, material.UniformAcoustic(f.Mesh.NumElem, f.Mat))
+}
+
+// LoadField writes constants and state with per-element materials (the
+// paper's model: "We consider constant materials within an element" —
+// every element's block holds its own material-derived constants, which
+// is what makes layered media free on the PIM side).
+func (f *FunctionalAcoustic) LoadField(q *dg.AcousticState, field *material.AcousticField) {
+	for e, blk := range f.blocks {
+		b := f.Engine.Chip.Block(blk)
+		f.Comp.LoadAcousticConstants(b, f.Mesh, field.ByElem[e], f.Dt)
+		f.Comp.LoadAcousticState(b, q, e)
+	}
+}
+
+// progsFor maps every element block to the same program template.
+func (f *FunctionalAcoustic) progsFor(prog []isa.Instr) map[int][]isa.Instr {
+	m := make(map[int][]isa.Instr, len(f.blocks))
+	for _, blk := range f.blocks {
+		m[blk] = prog
+	}
+	return m
+}
+
+// RHSOnce executes Volume plus all six Flux sub-phases, leaving the RHS in
+// the contribution columns (no integration). Used by kernel-level
+// verification tests.
+func (f *FunctionalAcoustic) RHSOnce() {
+	e := f.Engine
+	e.Sequence(e.ExecBlocks("volume", f.progsFor(f.volume)))
+	for face := mesh.Face(0); face < mesh.NumFaces; face++ {
+		e.Sequence(e.ExecTransfers(fmt.Sprintf("flux-fetch-%v", face), f.fetch[face]))
+		e.Sequence(e.ExecBlocks(fmt.Sprintf("flux-%v", face), f.progsFor(f.flux[face])))
+	}
+}
+
+// Step executes one full five-stage time-step.
+func (f *FunctionalAcoustic) Step() {
+	e := f.Engine
+	for s := 0; s < dg.NumStages; s++ {
+		f.RHSOnce()
+		e.Sequence(e.ExecBlocks(fmt.Sprintf("integration-%d", s), f.progsFor(f.integ[s])))
+	}
+}
+
+// Run executes n time-steps.
+func (f *FunctionalAcoustic) Run(n int) {
+	for i := 0; i < n; i++ {
+		f.Step()
+	}
+}
+
+// ReadState extracts the current variables into q.
+func (f *FunctionalAcoustic) ReadState(q *dg.AcousticState) {
+	for e, blk := range f.blocks {
+		f.Comp.ReadAcousticState(f.Engine.Chip.Block(blk), q, e)
+	}
+}
+
+// ReadRHS extracts the contribution columns into rhs.
+func (f *FunctionalAcoustic) ReadRHS(rhs *dg.AcousticState) {
+	for e, blk := range f.blocks {
+		f.Comp.ReadAcousticContrib(f.Engine.Chip.Block(blk), rhs, e)
+	}
+}
