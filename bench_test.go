@@ -309,6 +309,176 @@ func BenchmarkMaxwellExtension(b *testing.B) {
 	b.ReportMetric(float64(len(comp.VolumeMaxwell(true))), "volume-instrs")
 }
 
+// ---------------------------------------------------------------------------
+// Parallel-path benchmarks (bit-sliced substrate, worker-pool engine and
+// solvers). Scalar/sliced pairs do identical work per iteration (64 fp32
+// operations), so benchstat compares them directly.
+// ---------------------------------------------------------------------------
+
+// benchFP32Operands builds a reproducible 64-lane operand batch covering
+// normal, subnormal and large-exponent inputs.
+func benchFP32Operands() (a, b []uint32) {
+	a = make([]uint32, nor.Lanes)
+	b = make([]uint32, nor.Lanes)
+	x := uint32(0x2545F491)
+	for i := range a {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		a[i] = x
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		b[i] = x
+	}
+	return a, b
+}
+
+// BenchmarkNORFp32MulScalar multiplies 64 lane pairs through the scalar
+// gate path, one lane at a time.
+func BenchmarkNORFp32MulScalar(b *testing.B) {
+	av, bv := benchFP32Operands()
+	var c nor.Circuit
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := range av {
+			c.MulFP32(av[l], bv[l])
+		}
+	}
+}
+
+// BenchmarkNORFp32MulSliced multiplies the same 64 lane pairs in one
+// bit-sliced batch (one machine op evaluates all 64 lanes of each gate).
+func BenchmarkNORFp32MulSliced(b *testing.B) {
+	av, bv := benchFP32Operands()
+	var c nor.SlicedCircuit
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MulFP32Lanes(av, bv)
+	}
+}
+
+// BenchmarkNORFp32AddScalar and BenchmarkNORFp32AddSliced are the add
+// counterparts.
+func BenchmarkNORFp32AddScalar(b *testing.B) {
+	av, bv := benchFP32Operands()
+	var c nor.Circuit
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := range av {
+			c.AddFP32(av[l], bv[l])
+		}
+	}
+}
+
+func BenchmarkNORFp32AddSliced(b *testing.B) {
+	av, bv := benchFP32Operands()
+	var c nor.SlicedCircuit
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AddFP32Lanes(av, bv)
+	}
+}
+
+// BenchmarkFunctionalAcousticStep measures a fully functional PIM
+// time-step with the engine's worker pool off (serial) and sized to the
+// machine (parallel); the parallel path's merge keeps results identical.
+func BenchmarkFunctionalAcousticStep(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 0},
+		{"parallel", dg.DefaultWorkers()},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			m := mesh.New(1, 4, true)
+			mat := material.Acoustic{Kappa: 2.25, Rho: 1}
+			fa, err := wp.NewFunctionalAcoustic(m, mat, dg.RiemannFlux, 1e-3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fa.Engine.Workers = cfg.workers
+			q := dg.NewAcousticState(m)
+			dg.PlaneWaveX(m, mat, 1, q)
+			fa.Load(q)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fa.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkRHSParallel measures one parallel RHS evaluation of each wave
+// system against its serial counterpart on the same mesh.
+func BenchmarkRHSParallel(b *testing.B) {
+	m := mesh.New(2, 6, true)
+	workers := dg.DefaultWorkers()
+	b.Run("acoustic", func(b *testing.B) {
+		s := dg.NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, material.Acoustic{Kappa: 2.25, Rho: 1}), dg.RiemannFlux)
+		q, rhs := dg.NewAcousticState(m), dg.NewAcousticState(m)
+		dg.PlaneWaveX(m, material.Acoustic{Kappa: 2.25, Rho: 1}, 1, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RHSParallel(q, rhs, workers)
+		}
+	})
+	b.Run("elastic", func(b *testing.B) {
+		mat := material.Elastic{Lambda: 2, Mu: 1, Rho: 1}
+		s := dg.NewElasticSolver(m, material.UniformElastic(m.NumElem, mat), dg.RiemannFlux)
+		q, rhs := dg.NewElasticState(m), dg.NewElasticState(m)
+		dg.PlaneWavePX(m, mat, 1, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RHSParallel(q, rhs, workers)
+		}
+	})
+	b.Run("maxwell", func(b *testing.B) {
+		s := dg.NewMaxwellSolver(m, material.Vacuum, dg.RiemannFlux)
+		q, rhs := dg.NewMaxwellState(m), dg.NewMaxwellState(m)
+		dg.PlaneWaveEM(m, material.Vacuum, 1, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RHSParallel(q, rhs, workers)
+		}
+	})
+}
+
+// BenchmarkRHSSerial is the serial baseline for BenchmarkRHSParallel
+// (same meshes, Workers unset).
+func BenchmarkRHSSerial(b *testing.B) {
+	m := mesh.New(2, 6, true)
+	b.Run("acoustic", func(b *testing.B) {
+		s := dg.NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, material.Acoustic{Kappa: 2.25, Rho: 1}), dg.RiemannFlux)
+		q, rhs := dg.NewAcousticState(m), dg.NewAcousticState(m)
+		dg.PlaneWaveX(m, material.Acoustic{Kappa: 2.25, Rho: 1}, 1, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RHS(q, rhs)
+		}
+	})
+	b.Run("elastic", func(b *testing.B) {
+		mat := material.Elastic{Lambda: 2, Mu: 1, Rho: 1}
+		s := dg.NewElasticSolver(m, material.UniformElastic(m.NumElem, mat), dg.RiemannFlux)
+		q, rhs := dg.NewElasticState(m), dg.NewElasticState(m)
+		dg.PlaneWavePX(m, mat, 1, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RHS(q, rhs)
+		}
+	})
+	b.Run("maxwell", func(b *testing.B) {
+		s := dg.NewMaxwellSolver(m, material.Vacuum, dg.RiemannFlux)
+		q, rhs := dg.NewMaxwellState(m), dg.NewMaxwellState(m)
+		dg.PlaneWaveEM(m, material.Vacuum, 1, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RHS(q, rhs)
+		}
+	})
+}
+
 // BenchmarkGPUModel measures the analytic GPU model itself.
 func BenchmarkGPUModel(b *testing.B) {
 	bench := opcount.Benchmark{Eq: opcount.ElasticRiemann, Refinement: 5}

@@ -113,7 +113,8 @@ type AcousticSolver struct {
 	// independent; see parallel.go). Results are identical to serial.
 	Workers int
 
-	scratch [4][]float64 // per-element work arrays
+	scratch    [4][]float64 // per-element work arrays
+	parScratch []acousticScratch
 }
 
 // NewAcousticSolver builds a solver over the given mesh and material field.
@@ -146,6 +147,28 @@ func (s *AcousticSolver) RHS(q, rhs *AcousticState) {
 func (s *AcousticSolver) VolumeKernel(q, rhs *AcousticState) {
 	for e := 0; e < s.Op.M.NumElem; e++ {
 		s.volumeElem(q, rhs, e, s.scratch[0], s.scratch[1])
+	}
+}
+
+// volumeElem computes one element's Volume contribution with caller-owned
+// scratch (shared by the serial and parallel paths).
+func (s *AcousticSolver) volumeElem(q, rhs *AcousticState, e int, divV, dPd []float64) {
+	m := s.Op.M
+	nn := m.NodesPerEl
+	off := e * nn
+	mat := s.Mat.ByElem[e]
+	s.Op.Diff(q.V[0][off:off+nn], mesh.AxisX, divV)
+	s.Op.AddDiff(q.V[1][off:off+nn], mesh.AxisY, divV)
+	s.Op.AddDiff(q.V[2][off:off+nn], mesh.AxisZ, divV)
+	for n := 0; n < nn; n++ {
+		rhs.P[off+n] = -mat.Kappa * divV[n]
+	}
+	invRho := 1 / mat.Rho
+	for d := 0; d < 3; d++ {
+		s.Op.Diff(q.P[off:off+nn], mesh.Axis(d), dPd)
+		for n := 0; n < nn; n++ {
+			rhs.V[d][off+n] = -invRho * dPd[n]
+		}
 	}
 }
 

@@ -83,8 +83,12 @@ type ElasticSolver struct {
 	Mat      *material.ElasticField
 	Flux     FluxType
 	FreeSurf bool // traction-free boundary on non-periodic faces
+	// Workers > 1 runs the RHS with that many goroutines (elements are
+	// independent; see parallel.go). Results are identical to serial.
+	Workers int
 
-	scratch [4][]float64
+	scratch    [4][]float64
+	parScratch []elasticScratch
 }
 
 // NewElasticSolver builds a solver over the given mesh and material field.
@@ -101,6 +105,10 @@ func NewElasticSolver(m *mesh.Mesh, mat *material.ElasticField, flux FluxType) *
 
 // RHS computes the full right-hand side (Volume + Flux) into rhs.
 func (s *ElasticSolver) RHS(q, rhs *ElasticState) {
+	if s.Workers > 1 {
+		s.RHSParallel(q, rhs, s.Workers)
+		return
+	}
 	s.VolumeKernel(q, rhs)
 	s.FluxKernel(q, rhs)
 }
@@ -109,59 +117,62 @@ func (s *ElasticSolver) RHS(q, rhs *ElasticState) {
 // gradient (grad v, Table 1) feeding the stress update and the stress
 // divergence (div S) feeding the velocity update.
 func (s *ElasticSolver) VolumeKernel(q, rhs *ElasticState) {
+	for e := 0; e < s.Op.M.NumElem; e++ {
+		s.volumeElem(q, rhs, e, s.scratch[0], s.scratch[1], s.scratch[2])
+	}
+}
+
+// volumeElem computes one element's Volume contribution with caller-owned
+// scratch (shared by the serial and parallel paths).
+func (s *ElasticSolver) volumeElem(q, rhs *ElasticState, e int, da, db, dc []float64) {
 	m := s.Op.M
 	nn := m.NodesPerEl
-	da := s.scratch[0]
-	db := s.scratch[1]
-	dc := s.scratch[2]
-	for e := 0; e < m.NumElem; e++ {
-		off := e * nn
-		mat := s.Mat.ByElem[e]
-		la, mu := mat.Lambda, mat.Mu
+	off := e * nn
+	mat := s.Mat.ByElem[e]
+	la, mu := mat.Lambda, mat.Mu
 
-		// Diagonal stress components from dvx/dx, dvy/dy, dvz/dz.
-		s.Op.Diff(q.V[0][off:off+nn], mesh.AxisX, da)
-		s.Op.Diff(q.V[1][off:off+nn], mesh.AxisY, db)
-		s.Op.Diff(q.V[2][off:off+nn], mesh.AxisZ, dc)
-		for n := 0; n < nn; n++ {
-			div := da[n] + db[n] + dc[n]
-			rhs.S[SXX][off+n] = la*div + 2*mu*da[n]
-			rhs.S[SYY][off+n] = la*div + 2*mu*db[n]
-			rhs.S[SZZ][off+n] = la*div + 2*mu*dc[n]
-		}
-		// Shear components from symmetrized cross-derivatives.
-		s.Op.Diff(q.V[0][off:off+nn], mesh.AxisY, da) // dvx/dy
-		s.Op.Diff(q.V[1][off:off+nn], mesh.AxisX, db) // dvy/dx
-		for n := 0; n < nn; n++ {
-			rhs.S[SXY][off+n] = mu * (da[n] + db[n])
-		}
-		s.Op.Diff(q.V[0][off:off+nn], mesh.AxisZ, da) // dvx/dz
-		s.Op.Diff(q.V[2][off:off+nn], mesh.AxisX, db) // dvz/dx
-		for n := 0; n < nn; n++ {
-			rhs.S[SXZ][off+n] = mu * (da[n] + db[n])
-		}
-		s.Op.Diff(q.V[1][off:off+nn], mesh.AxisZ, da) // dvy/dz
-		s.Op.Diff(q.V[2][off:off+nn], mesh.AxisY, db) // dvz/dy
-		for n := 0; n < nn; n++ {
-			rhs.S[SYZ][off+n] = mu * (da[n] + db[n])
-		}
+	// Diagonal stress components from dvx/dx, dvy/dy, dvz/dz.
+	s.Op.Diff(q.V[0][off:off+nn], mesh.AxisX, da)
+	s.Op.Diff(q.V[1][off:off+nn], mesh.AxisY, db)
+	s.Op.Diff(q.V[2][off:off+nn], mesh.AxisZ, dc)
+	for n := 0; n < nn; n++ {
+		div := da[n] + db[n] + dc[n]
+		rhs.S[SXX][off+n] = la*div + 2*mu*da[n]
+		rhs.S[SYY][off+n] = la*div + 2*mu*db[n]
+		rhs.S[SZZ][off+n] = la*div + 2*mu*dc[n]
+	}
+	// Shear components from symmetrized cross-derivatives.
+	s.Op.Diff(q.V[0][off:off+nn], mesh.AxisY, da) // dvx/dy
+	s.Op.Diff(q.V[1][off:off+nn], mesh.AxisX, db) // dvy/dx
+	for n := 0; n < nn; n++ {
+		rhs.S[SXY][off+n] = mu * (da[n] + db[n])
+	}
+	s.Op.Diff(q.V[0][off:off+nn], mesh.AxisZ, da) // dvx/dz
+	s.Op.Diff(q.V[2][off:off+nn], mesh.AxisX, db) // dvz/dx
+	for n := 0; n < nn; n++ {
+		rhs.S[SXZ][off+n] = mu * (da[n] + db[n])
+	}
+	s.Op.Diff(q.V[1][off:off+nn], mesh.AxisZ, da) // dvy/dz
+	s.Op.Diff(q.V[2][off:off+nn], mesh.AxisY, db) // dvz/dy
+	for n := 0; n < nn; n++ {
+		rhs.S[SYZ][off+n] = mu * (da[n] + db[n])
+	}
 
-		// Velocity update from div S (div S)_i = d sigma_ij / dx_j.
-		invRho := 1 / mat.Rho
-		s.Op.Diff(q.S[SXX][off:off+nn], mesh.AxisX, da)
-		s.Op.AddDiff(q.S[SXY][off:off+nn], mesh.AxisY, da)
-		s.Op.AddDiff(q.S[SXZ][off:off+nn], mesh.AxisZ, da)
-		s.Op.Diff(q.S[SXY][off:off+nn], mesh.AxisX, db)
-		s.Op.AddDiff(q.S[SYY][off:off+nn], mesh.AxisY, db)
-		s.Op.AddDiff(q.S[SYZ][off:off+nn], mesh.AxisZ, db)
-		s.Op.Diff(q.S[SXZ][off:off+nn], mesh.AxisX, dc)
-		s.Op.AddDiff(q.S[SYZ][off:off+nn], mesh.AxisY, dc)
-		s.Op.AddDiff(q.S[SZZ][off:off+nn], mesh.AxisZ, dc)
-		for n := 0; n < nn; n++ {
-			rhs.V[0][off+n] = invRho * da[n]
-			rhs.V[1][off+n] = invRho * db[n]
-			rhs.V[2][off+n] = invRho * dc[n]
-		}
+	// Velocity update from div S (div S)_i = d sigma_ij / dx_j.
+	invRho := 1 / mat.Rho
+	s.Op.Diff(q.S[SXX][off:off+nn], mesh.AxisX, da)
+	s.Op.AddDiff(q.S[SXY][off:off+nn], mesh.AxisY, da)
+	s.Op.AddDiff(q.S[SXZ][off:off+nn], mesh.AxisZ, da)
+	s.Op.Diff(q.S[SXY][off:off+nn], mesh.AxisX, db)
+	s.Op.AddDiff(q.S[SYY][off:off+nn], mesh.AxisY, db)
+	s.Op.AddDiff(q.S[SYZ][off:off+nn], mesh.AxisZ, db)
+	s.Op.Diff(q.S[SXZ][off:off+nn], mesh.AxisX, dc)
+	s.Op.AddDiff(q.S[SYZ][off:off+nn], mesh.AxisY, dc)
+	s.Op.AddDiff(q.S[SZZ][off:off+nn], mesh.AxisZ, dc)
+	for n := 0; n < nn; n++ {
+		rhs.V[0][off+n] = invRho * da[n]
+		rhs.V[1][off+n] = invRho * db[n]
+		rhs.V[2][off+n] = invRho * dc[n]
 	}
 }
 

@@ -72,8 +72,12 @@ type MaxwellSolver struct {
 	Op   *Operator
 	Mat  material.Dielectric
 	Flux FluxType
+	// Workers > 1 runs the RHS with that many goroutines (elements are
+	// independent; see parallel.go). Results are identical to serial.
+	Workers int
 
-	scratch [3][]float64
+	scratch    [3][]float64
+	parScratch []maxwellScratch
 }
 
 // NewMaxwellSolver builds the solver for a uniform dielectric.
@@ -91,32 +95,41 @@ func cyc(a int) (b, c int) { return (a + 1) % 3, (a + 2) % 3 }
 
 // RHS computes Volume + Flux into rhs.
 func (s *MaxwellSolver) RHS(q, rhs *MaxwellState) {
+	if s.Workers > 1 {
+		s.RHSParallel(q, rhs, s.Workers)
+		return
+	}
 	s.VolumeKernel(q, rhs)
 	s.FluxKernel(q, rhs)
 }
 
 // VolumeKernel computes the element-local curls.
 func (s *MaxwellSolver) VolumeKernel(q, rhs *MaxwellState) {
+	for e := 0; e < s.Op.M.NumElem; e++ {
+		s.volumeElem(q, rhs, e, s.scratch[0], s.scratch[1])
+	}
+}
+
+// volumeElem computes one element's curls with caller-owned scratch
+// (shared by the serial and parallel paths).
+func (s *MaxwellSolver) volumeElem(q, rhs *MaxwellState, e int, da, db []float64) {
 	m := s.Op.M
 	nn := m.NodesPerEl
-	da, db := s.scratch[0], s.scratch[1]
 	invEps, invMu := 1/s.Mat.Eps, 1/s.Mat.Mu
-	for e := 0; e < m.NumElem; e++ {
-		off := e * nn
-		for a := 0; a < 3; a++ {
-			b, c := cyc(a)
-			// (curl H)_a = dH_c/db - dH_b/dc
-			s.Op.Diff(q.H[c][off:off+nn], mesh.Axis(b), da)
-			s.Op.Diff(q.H[b][off:off+nn], mesh.Axis(c), db)
-			for n := 0; n < nn; n++ {
-				rhs.E[a][off+n] = invEps * (da[n] - db[n])
-			}
-			// (curl E)_a likewise, with the opposite sign for H.
-			s.Op.Diff(q.E[c][off:off+nn], mesh.Axis(b), da)
-			s.Op.Diff(q.E[b][off:off+nn], mesh.Axis(c), db)
-			for n := 0; n < nn; n++ {
-				rhs.H[a][off+n] = -invMu * (da[n] - db[n])
-			}
+	off := e * nn
+	for a := 0; a < 3; a++ {
+		b, c := cyc(a)
+		// (curl H)_a = dH_c/db - dH_b/dc
+		s.Op.Diff(q.H[c][off:off+nn], mesh.Axis(b), da)
+		s.Op.Diff(q.H[b][off:off+nn], mesh.Axis(c), db)
+		for n := 0; n < nn; n++ {
+			rhs.E[a][off+n] = invEps * (da[n] - db[n])
+		}
+		// (curl E)_a likewise, with the opposite sign for H.
+		s.Op.Diff(q.E[c][off:off+nn], mesh.Axis(b), da)
+		s.Op.Diff(q.E[b][off:off+nn], mesh.Axis(c), db)
+		for n := 0; n < nn; n++ {
+			rhs.H[a][off+n] = -invMu * (da[n] - db[n])
 		}
 	}
 }

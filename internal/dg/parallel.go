@@ -7,15 +7,17 @@ import (
 	"wavepim/internal/mesh"
 )
 
-// Multi-core execution of the reference solver. Elements are independent
+// Multi-core execution of the reference solvers. Elements are independent
 // in both the Volume kernel (purely element-local) and the Flux kernel
 // (each element writes only its own rows and reads neighbor values that no
 // kernel mutates), so a worker pool over element ranges parallelizes both
-// without locks. Each worker owns its scratch buffers.
+// without locks. Each worker owns its scratch buffers, cached on the
+// solver so the five RHS evaluations per RK time-step don't reallocate.
 //
 // Set Workers > 1 on a solver to enable; 0 or 1 keeps the serial path.
 // The parallel path computes bit-identical results to the serial one
-// (per-element arithmetic order is unchanged).
+// (per-element arithmetic order is unchanged). A solver must not be used
+// from concurrent RHS calls — the parallelism lives inside one call.
 
 // parallelFor splits [0, n) into contiguous chunks across workers and
 // waits for completion. fn receives the element range and a worker index
@@ -54,9 +56,24 @@ func parallelFor(n, workers int, fn func(lo, hi, worker int)) {
 // DefaultWorkers returns a sensible worker count for this machine.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// ---------------------------------------------------------------------------
+// Acoustic
+// ---------------------------------------------------------------------------
+
 // acousticScratch is one worker's private work arrays.
 type acousticScratch struct {
 	divV, dPd []float64
+}
+
+// parScratchFor returns at least workers per-worker scratch sets, growing
+// the solver's cache on first use (or when workers increases).
+func (s *AcousticSolver) parScratchFor(workers int) []acousticScratch {
+	nn := s.Op.M.NodesPerEl
+	for len(s.parScratch) < workers {
+		s.parScratch = append(s.parScratch, acousticScratch{
+			divV: make([]float64, nn), dPd: make([]float64, nn)})
+	}
+	return s.parScratch
 }
 
 // RHSParallel computes the full RHS using workers goroutines. It is
@@ -64,11 +81,7 @@ type acousticScratch struct {
 // solver's Workers field is set above 1.
 func (s *AcousticSolver) RHSParallel(q, rhs *AcousticState, workers int) {
 	m := s.Op.M
-	nn := m.NodesPerEl
-	scratch := make([]acousticScratch, workers)
-	for i := range scratch {
-		scratch[i] = acousticScratch{divV: make([]float64, nn), dPd: make([]float64, nn)}
-	}
+	scratch := s.parScratchFor(workers)
 	parallelFor(m.NumElem, workers, func(lo, hi, w int) {
 		sc := scratch[w]
 		for e := lo; e < hi; e++ {
@@ -80,24 +93,71 @@ func (s *AcousticSolver) RHSParallel(q, rhs *AcousticState, workers int) {
 	})
 }
 
-// volumeElem computes one element's Volume contribution with caller-owned
-// scratch (shared by the serial and parallel paths).
-func (s *AcousticSolver) volumeElem(q, rhs *AcousticState, e int, divV, dPd []float64) {
+// ---------------------------------------------------------------------------
+// Elastic
+// ---------------------------------------------------------------------------
+
+// elasticScratch is one worker's private work arrays (the three derivative
+// buffers the Volume kernel cycles through).
+type elasticScratch struct {
+	da, db, dc []float64
+}
+
+func (s *ElasticSolver) parScratchFor(workers int) []elasticScratch {
+	nn := s.Op.M.NodesPerEl
+	for len(s.parScratch) < workers {
+		s.parScratch = append(s.parScratch, elasticScratch{
+			da: make([]float64, nn), db: make([]float64, nn), dc: make([]float64, nn)})
+	}
+	return s.parScratch
+}
+
+// RHSParallel computes the full elastic RHS using workers goroutines,
+// equivalent to RHS.
+func (s *ElasticSolver) RHSParallel(q, rhs *ElasticState, workers int) {
 	m := s.Op.M
-	nn := m.NodesPerEl
-	off := e * nn
-	mat := s.Mat.ByElem[e]
-	s.Op.Diff(q.V[0][off:off+nn], mesh.AxisX, divV)
-	s.Op.AddDiff(q.V[1][off:off+nn], mesh.AxisY, divV)
-	s.Op.AddDiff(q.V[2][off:off+nn], mesh.AxisZ, divV)
-	for n := 0; n < nn; n++ {
-		rhs.P[off+n] = -mat.Kappa * divV[n]
-	}
-	invRho := 1 / mat.Rho
-	for d := 0; d < 3; d++ {
-		s.Op.Diff(q.P[off:off+nn], mesh.Axis(d), dPd)
-		for n := 0; n < nn; n++ {
-			rhs.V[d][off+n] = -invRho * dPd[n]
+	scratch := s.parScratchFor(workers)
+	parallelFor(m.NumElem, workers, func(lo, hi, w int) {
+		sc := scratch[w]
+		for e := lo; e < hi; e++ {
+			s.volumeElem(q, rhs, e, sc.da, sc.db, sc.dc)
+			for f := mesh.Face(0); f < mesh.NumFaces; f++ {
+				s.fluxFace(q, rhs, e, f)
+			}
 		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Maxwell
+// ---------------------------------------------------------------------------
+
+// maxwellScratch is one worker's private work arrays.
+type maxwellScratch struct {
+	da, db []float64
+}
+
+func (s *MaxwellSolver) parScratchFor(workers int) []maxwellScratch {
+	nn := s.Op.M.NodesPerEl
+	for len(s.parScratch) < workers {
+		s.parScratch = append(s.parScratch, maxwellScratch{
+			da: make([]float64, nn), db: make([]float64, nn)})
 	}
+	return s.parScratch
+}
+
+// RHSParallel computes the full Maxwell RHS using workers goroutines,
+// equivalent to RHS.
+func (s *MaxwellSolver) RHSParallel(q, rhs *MaxwellState, workers int) {
+	m := s.Op.M
+	scratch := s.parScratchFor(workers)
+	parallelFor(m.NumElem, workers, func(lo, hi, w int) {
+		sc := scratch[w]
+		for e := lo; e < hi; e++ {
+			s.volumeElem(q, rhs, e, sc.da, sc.db)
+			for f := mesh.Face(0); f < mesh.NumFaces; f++ {
+				s.fluxFace(q, rhs, e, f)
+			}
+		}
+	})
 }

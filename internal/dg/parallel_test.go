@@ -51,6 +51,109 @@ func TestParallelSolverPropagatesCorrectly(t *testing.T) {
 	}
 }
 
+// The elastic parallel RHS is bit-identical to the serial one, and the
+// Workers field routes RHS through it.
+func TestParallelElasticRHSBitIdentical(t *testing.T) {
+	m := mesh.New(2, 5, true)
+	mat := material.UniformElastic(m.NumElem, rockLike)
+	s := NewElasticSolver(m, mat, RiemannFlux)
+	q := NewElasticState(m)
+	PlaneWavePX(m, rockLike, 1, q)
+	for i := range q.V[0] {
+		q.V[1][i] = 0.3 * math.Sin(float64(i))
+		q.S[SXZ][i] = -0.2 * math.Cos(float64(i)*0.7)
+	}
+	serial := NewElasticState(m)
+	s.RHS(q, serial)
+	for _, workers := range []int{2, 3, 8, 64} {
+		par := NewElasticState(m)
+		s.RHSParallel(q, par, workers)
+		for c := range serial.S {
+			for i := range serial.S[c] {
+				if serial.S[c][i] != par.S[c][i] {
+					t.Fatalf("workers=%d: stress %d differs at node %d", workers, c, i)
+				}
+			}
+		}
+		for d := range serial.V {
+			for i := range serial.V[d] {
+				if serial.V[d][i] != par.V[d][i] {
+					t.Fatalf("workers=%d: velocity %d differs at node %d", workers, d, i)
+				}
+			}
+		}
+	}
+	// Workers on the solver dispatches RHS through the parallel path.
+	s.Workers = 4
+	viaField := NewElasticState(m)
+	s.RHS(q, viaField)
+	for i := range serial.V[0] {
+		if serial.V[0][i] != viaField.V[0][i] {
+			t.Fatalf("Workers dispatch differs at node %d", i)
+		}
+	}
+}
+
+// The Maxwell parallel RHS is bit-identical to the serial one, and the
+// Workers field routes RHS through it.
+func TestParallelMaxwellRHSBitIdentical(t *testing.T) {
+	m := mesh.New(2, 5, true)
+	mat := material.Dielectric{Eps: 2.25, Mu: 1.0}
+	s := NewMaxwellSolver(m, mat, RiemannFlux)
+	q := NewMaxwellState(m)
+	PlaneWaveEM(m, mat, 1, q)
+	for i := range q.E[0] {
+		q.E[2][i] = 0.3 * math.Sin(float64(i))
+		q.H[0][i] = -0.2 * math.Cos(float64(i)*0.7)
+	}
+	serial := NewMaxwellState(m)
+	s.RHS(q, serial)
+	for _, workers := range []int{2, 3, 8, 64} {
+		par := NewMaxwellState(m)
+		s.RHSParallel(q, par, workers)
+		for d := 0; d < 3; d++ {
+			for i := range serial.E[d] {
+				if serial.E[d][i] != par.E[d][i] || serial.H[d][i] != par.H[d][i] {
+					t.Fatalf("workers=%d: field %d differs at node %d", workers, d, i)
+				}
+			}
+		}
+	}
+	s.Workers = 4
+	viaField := NewMaxwellState(m)
+	s.RHS(q, viaField)
+	for i := range serial.E[1] {
+		if serial.E[1][i] != viaField.E[1][i] {
+			t.Fatalf("Workers dispatch differs at node %d", i)
+		}
+	}
+}
+
+// The per-worker scratch is cached on the solver: repeated parallel RHS
+// calls (the RK integrator makes five per step) must not grow the cache,
+// and growing the worker count must extend it in place.
+func TestParallelScratchCached(t *testing.T) {
+	m := mesh.New(1, 4, true)
+	s := NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, waterLike), CentralFlux)
+	q := NewAcousticState(m)
+	rhs := NewAcousticState(m)
+	s.RHSParallel(q, rhs, 4)
+	first := &s.parScratch[0].divV[0]
+	if len(s.parScratch) != 4 {
+		t.Fatalf("scratch sets = %d, want 4", len(s.parScratch))
+	}
+	for i := 0; i < 10; i++ {
+		s.RHSParallel(q, rhs, 4)
+	}
+	if len(s.parScratch) != 4 || &s.parScratch[0].divV[0] != first {
+		t.Error("repeated RHSParallel reallocated scratch")
+	}
+	s.RHSParallel(q, rhs, 6)
+	if len(s.parScratch) != 6 || &s.parScratch[0].divV[0] != first {
+		t.Error("growing workers should extend the cache in place")
+	}
+}
+
 // Race check support: run with -race to validate there is no shared
 // mutable state across workers (the test body just exercises the pool).
 func TestParallelForCoverage(t *testing.T) {

@@ -8,6 +8,7 @@ package chip
 
 import (
 	"fmt"
+	"sync"
 
 	"wavepim/internal/params"
 	"wavepim/internal/pim/intercon"
@@ -134,9 +135,13 @@ func SystemPowerW(c Config) float64 {
 
 // Chip is an instantiated (functional or timing) chip: lazily allocated
 // blocks — a 16 GB chip has 131072 blocks, so cell arrays materialize only
-// when touched — grouped into tiles that each own an interconnect.
+// when touched — grouped into tiles that each own an interconnect. Block
+// lookup is safe from concurrent goroutines (the sim engine's parallel
+// functional execution resolves blocks from its worker pool); the blocks
+// themselves are single-owner and must not be mutated concurrently.
 type Chip struct {
 	Config Config
+	mu     sync.RWMutex
 	blocks map[int]*xbar.Block
 	topos  []intercon.Topology // one per tile
 }
@@ -164,11 +169,19 @@ func (ch *Chip) Block(id int) *xbar.Block {
 	if id < 0 || id >= ch.Config.NumBlocks() {
 		panic(fmt.Sprintf("chip: block %d out of range [0,%d)", id, ch.Config.NumBlocks()))
 	}
+	ch.mu.RLock()
 	b, ok := ch.blocks[id]
-	if !ok {
-		b = xbar.New(id)
-		ch.blocks[id] = b
+	ch.mu.RUnlock()
+	if ok {
+		return b
 	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if b, ok := ch.blocks[id]; ok {
+		return b
+	}
+	b = xbar.New(id)
+	ch.blocks[id] = b
 	return b
 }
 
@@ -182,10 +195,16 @@ func (ch *Chip) LocalID(blockID int) int { return blockID % params.BlocksPerTile
 func (ch *Chip) Topology(tile int) intercon.Topology { return ch.topos[tile] }
 
 // AllocatedBlocks returns how many blocks have been materialized.
-func (ch *Chip) AllocatedBlocks() int { return len(ch.blocks) }
+func (ch *Chip) AllocatedBlocks() int {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	return len(ch.blocks)
+}
 
 // TotalBlockStats sums the stats of all materialized blocks.
 func (ch *Chip) TotalBlockStats() xbar.Stats {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
 	var s xbar.Stats
 	for _, b := range ch.blocks {
 		s.Add(b.Stats)

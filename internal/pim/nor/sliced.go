@@ -1,0 +1,316 @@
+package nor
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bit-sliced ("word-level") evaluation of the NOR substrate. A crossbar
+// evaluates one NOR per column per step but has CellsPerRow columns working
+// in parallel (Section 2.3); this file mirrors that column parallelism in
+// software: a Word holds one bit of 64 independent gate networks ("lanes"),
+// so a single machine op evaluates 64 NOR gates at once.
+//
+// Equivalence contract with the scalar Circuit:
+//
+//   - Every SlicedCircuit method mirrors the exact NOR decomposition of the
+//     corresponding Circuit method. For any lane selected by the mask, the
+//     gates evaluated are precisely the gates the scalar path evaluates for
+//     that lane's operands — including data-dependent control flow, which
+//     is expressed as lane masks instead of branches.
+//   - Stats accounting is exact, not approximate: a gate evaluated under a
+//     mask adds popcount(mask) NOREvals and Resets, and popcount(out&mask)
+//     Sets — the same totals the scalar path accrues when run once per
+//     lane. The property tests in sliced_test.go enforce this bit for bit.
+//
+// Masking discipline: gate outputs are computed across all 64 lanes (the
+// mask only gates the accounting), so values flow correctly through lanes
+// that diverged earlier and reconverge via host-side plane merges.
+
+// Word is 64 lanes of one bit position.
+type Word = uint64
+
+// Lanes is the lane width of the sliced substrate.
+const Lanes = 64
+
+// WBits is a little-endian bit-plane vector: WBits[i] holds bit i of every
+// lane (the sliced counterpart of Bits).
+type WBits []Word
+
+// LaneMask returns the mask selecting the first n lanes.
+func LaneMask(n int) Word {
+	if n < 0 || n > Lanes {
+		panic(fmt.Sprintf("nor: lane count %d out of range [0,%d]", n, Lanes))
+	}
+	if n == Lanes {
+		return ^Word(0)
+	}
+	return Word(1)<<uint(n) - 1
+}
+
+// PackLanes builds bit planes from up to 64 per-lane values: plane i bit l
+// is bit i of vals[l].
+func PackLanes(vals []uint64, width int) WBits {
+	if len(vals) > Lanes {
+		panic(fmt.Sprintf("nor: %d lane values exceed %d lanes", len(vals), Lanes))
+	}
+	out := make(WBits, width)
+	for l, v := range vals {
+		for i := 0; i < width; i++ {
+			if v>>uint(i)&1 == 1 {
+				out[i] |= Word(1) << uint(l)
+			}
+		}
+	}
+	return out
+}
+
+// Lane extracts one lane's value from the planes (panics if len > 64).
+func (w WBits) Lane(l int) uint64 {
+	if len(w) > 64 {
+		panic("nor: WBits wider than 64")
+	}
+	var v uint64
+	for i, p := range w {
+		if p>>uint(l)&1 == 1 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Clone copies the plane vector.
+func (w WBits) Clone() WBits { return append(WBits(nil), w...) }
+
+// SlicedCircuit evaluates 64 NOR gates per machine op and records the same
+// Stats the scalar Circuit would for the masked lanes. The zero value is
+// ready to use.
+type SlicedCircuit struct {
+	Stats Stats
+}
+
+// nor1 and nor2 are the primitive evaluations; they mirror Circuit.nor1 and
+// Circuit.nor2 lane-wise.
+func (c *SlicedCircuit) nor1(mask, a Word) Word {
+	n := int64(bits.OnesCount64(mask))
+	c.Stats.NOREvals += n
+	c.Stats.Resets += n
+	out := ^a
+	c.Stats.Sets += int64(bits.OnesCount64(out & mask))
+	return out
+}
+
+func (c *SlicedCircuit) nor2(mask, a, b Word) Word {
+	n := int64(bits.OnesCount64(mask))
+	c.Stats.NOREvals += n
+	c.Stats.Resets += n
+	out := ^(a | b)
+	c.Stats.Sets += int64(bits.OnesCount64(out & mask))
+	return out
+}
+
+// NOR is the two-input primitive over the masked lanes.
+func (c *SlicedCircuit) NOR(mask, a, b Word) Word { return c.nor2(mask, a, b) }
+
+// NOT is NOR with one input.
+func (c *SlicedCircuit) NOT(mask, a Word) Word { return c.nor1(mask, a) }
+
+// OR is NOT(NOR(a,b)).
+func (c *SlicedCircuit) OR(mask, a, b Word) Word { return c.nor1(mask, c.nor2(mask, a, b)) }
+
+// AND is NOR(NOT a, NOT b).
+func (c *SlicedCircuit) AND(mask, a, b Word) Word {
+	return c.nor2(mask, c.nor1(mask, a), c.nor1(mask, b))
+}
+
+// XOR from five NORs, as in the scalar gate.
+func (c *SlicedCircuit) XOR(mask, a, b Word) Word {
+	return c.nor2(mask, c.nor2(mask, a, b), c.nor2(mask, c.nor1(mask, a), c.nor1(mask, b)))
+}
+
+// MUX returns a where sel is 0, b where sel is 1.
+func (c *SlicedCircuit) MUX(mask, sel, a, b Word) Word {
+	return c.OR(mask, c.AND(mask, c.NOT(mask, sel), a), c.AND(mask, sel, b))
+}
+
+// FullAdder returns (sum, carry) of a + b + cin lane-wise.
+func (c *SlicedCircuit) FullAdder(mask, a, b, cin Word) (sum, carry Word) {
+	axb := c.XOR(mask, a, b)
+	sum = c.XOR(mask, axb, cin)
+	carry = c.OR(mask, c.AND(mask, a, b), c.AND(mask, axb, cin))
+	return
+}
+
+// AddBits returns a + b (+ cin) over max(len(a), len(b)) bits plus a final
+// carry plane. Inputs of different lengths are zero-extended, with the
+// extension bits still flowing through full-adder gates exactly as the
+// scalar block does.
+func (c *SlicedCircuit) AddBits(mask Word, a, b WBits, cin Word) WBits {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(WBits, n+1)
+	carry := cin
+	for i := 0; i < n; i++ {
+		var ab, bb Word
+		if i < len(a) {
+			ab = a[i]
+		}
+		if i < len(b) {
+			bb = b[i]
+		}
+		out[i], carry = c.FullAdder(mask, ab, bb, carry)
+	}
+	out[n] = carry
+	return out
+}
+
+// SubBits returns a - b over len(a) bits plus a no-borrow plane (lane bit
+// set means a >= b in that lane).
+func (c *SlicedCircuit) SubBits(mask Word, a, b WBits) (diff WBits, noBorrow Word) {
+	n := len(a)
+	nb := make(WBits, n)
+	for i := 0; i < n; i++ {
+		var bb Word
+		if i < len(b) {
+			bb = b[i]
+		}
+		nb[i] = c.NOT(mask, bb)
+	}
+	sum := c.AddBits(mask, a, nb, ^Word(0))
+	return sum[:n], sum[n]
+}
+
+// GEBits returns the a >= b plane for equal-width unsigned operands.
+func (c *SlicedCircuit) GEBits(mask Word, a, b WBits) Word {
+	_, ge := c.SubBits(mask, a, b)
+	return ge
+}
+
+// MuxBits selects a (sel=0) or b (sel=1) lane-wise per plane.
+func (c *SlicedCircuit) MuxBits(mask, sel Word, a, b WBits) WBits {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(WBits, n)
+	for i := 0; i < n; i++ {
+		var ab, bb Word
+		if i < len(a) {
+			ab = a[i]
+		}
+		if i < len(b) {
+			bb = b[i]
+		}
+		out[i] = c.MUX(mask, sel, ab, bb)
+	}
+	return out
+}
+
+// ShiftRightBits shifts each lane right by its amount encoded in the sh
+// planes (a barrel shifter of MUX stages). Bits shifted out are ORed into a
+// per-lane sticky plane. Lanes whose shift amount is zero pass through
+// value-unchanged with zero sticky, which is what lets divergent callers
+// run the shifter once under a mask.
+func (c *SlicedCircuit) ShiftRightBits(mask Word, a, sh WBits) (out WBits, sticky Word) {
+	out = a.Clone()
+	for s := 0; s < len(sh); s++ {
+		amount := 1 << uint(s)
+		shifted := make(WBits, len(out))
+		var lost Word
+		for i := range shifted {
+			if i+amount < len(out) {
+				shifted[i] = out[i+amount]
+			}
+		}
+		for i := 0; i < amount && i < len(out); i++ {
+			lost = c.OR(mask, lost, out[i])
+		}
+		sticky = c.OR(mask, sticky, c.AND(mask, sh[s], lost))
+		out = c.MuxBits(mask, sh[s], out, shifted)
+	}
+	return out, sticky
+}
+
+// ShiftLeftBits shifts each lane left by its amount in sh, dropping
+// overflow.
+func (c *SlicedCircuit) ShiftLeftBits(mask Word, a, sh WBits) WBits {
+	out := a.Clone()
+	for s := 0; s < len(sh); s++ {
+		amount := 1 << uint(s)
+		shifted := make(WBits, len(out))
+		for i := range shifted {
+			if i-amount >= 0 {
+				shifted[i] = out[i-amount]
+			}
+		}
+		out = c.MuxBits(mask, sh[s], out, shifted)
+	}
+	return out
+}
+
+// MulBits returns the full 2n-plane product of two n-plane unsigned
+// operands via gate-level shift-and-add.
+func (c *SlicedCircuit) MulBits(mask Word, a, b WBits) WBits {
+	n := len(a)
+	if len(b) != n {
+		panic("nor: MulBits operands must have equal width")
+	}
+	acc := make(WBits, 2*n)
+	for i := 0; i < n; i++ {
+		partial := make(WBits, 2*n)
+		for j := 0; j < n; j++ {
+			partial[i+j] = c.AND(mask, a[j], b[i])
+		}
+		sum := c.AddBits(mask, acc, partial, 0)
+		acc = sum[:2*n]
+	}
+	return acc
+}
+
+// LeadingZeros counts each lane's zero bits above its most significant
+// one-bit, as a gate-level priority scan.
+func (c *SlicedCircuit) LeadingZeros(mask Word, a WBits) WBits {
+	n := len(a)
+	w := 1
+	for 1<<uint(w) <= n {
+		w++
+	}
+	count := make(WBits, w)
+	var seen Word
+	for i := n - 1; i >= 0; i-- {
+		seen = c.OR(mask, seen, a[i])
+		inc := c.NOT(mask, seen)
+		carry := inc
+		for j := 0; j < w; j++ {
+			count[j], carry = c.FullAdder(mask, count[j], 0, carry)
+		}
+	}
+	return count
+}
+
+// IncBits returns a+1 per lane over len(a) planes plus carry-out.
+func (c *SlicedCircuit) IncBits(mask Word, a WBits) WBits {
+	one := make(WBits, 1)
+	one[0] = ^Word(0)
+	return c.AddBits(mask, a, one, 0)
+}
+
+// OrReduce ORs all planes together per lane.
+func (c *SlicedCircuit) OrReduce(mask Word, a WBits) Word {
+	var v Word
+	for _, b := range a {
+		v = c.OR(mask, v, b)
+	}
+	return v
+}
+
+// AndReduce ANDs all planes together per lane.
+func (c *SlicedCircuit) AndReduce(mask Word, a WBits) Word {
+	v := ^Word(0)
+	for _, b := range a {
+		v = c.AND(mask, v, b)
+	}
+	return v
+}

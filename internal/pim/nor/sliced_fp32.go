@@ -1,0 +1,465 @@
+package nor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lane-parallel IEEE-754 binary32 addition and multiplication on the
+// bit-sliced substrate: up to 64 independent operand pairs ride the lanes
+// of each gate evaluation. The control flow of the scalar datapath in
+// fp32.go — special-case dispatch, operand swap, alignment, normalization,
+// subnormal handling — is data-dependent per lane, so every branch becomes
+// a lane mask: the gates of a branch run once, accounted only for the lanes
+// that take it, exactly as the scalar path would per lane. Host-side
+// bookkeeping (exponent arithmetic, branch predicates read from gate
+// outputs) stays host-side here too, and costs no gates in either path.
+//
+// Results and accumulated Stats are bit-identical to running the scalar
+// AddFP32/MulFP32 once per lane; sliced_test.go property-tests both claims
+// against random inputs including subnormals, NaN and Inf.
+
+// unpackedLanes holds the gate-extracted fields of one operand vector.
+type unpackedLanes struct {
+	sign  Word
+	isNaN Word
+	isInf Word
+	isZer Word
+	mant  WBits        // 24 planes: significand with hidden bit
+	eAdj  [Lanes]int32 // effective exponent: max(exp, 1), host-read
+}
+
+// packU32Lanes builds 32 bit-planes from float32 bit patterns.
+func packU32Lanes(v []uint32) WBits {
+	vals := make([]uint64, len(v))
+	for l, x := range v {
+		vals[l] = uint64(x)
+	}
+	return PackLanes(vals, 32)
+}
+
+func (c *SlicedCircuit) unpackLanes(mask Word, v []uint32) unpackedLanes {
+	b := packU32Lanes(v)
+	var u unpackedLanes
+	u.sign = b[signShift]
+	expB := b[fracBits : fracBits+expBits]
+	fracB := b[:fracBits]
+	expAllOnes := c.AndReduce(mask, expB)
+	fracZero := c.NOT(mask, c.OrReduce(mask, fracB))
+	expZero := c.NOT(mask, c.OrReduce(mask, expB))
+	u.isNaN = expAllOnes &^ fracZero
+	u.isInf = expAllOnes & fracZero
+	u.isZer = expZero & fracZero
+	u.mant = make(WBits, 24)
+	copy(u.mant, fracB)
+	u.mant[23] = ^expZero // hidden bit
+	for l, x := range v {
+		e := x >> fracBits & expMask
+		if e == 0 {
+			e = 1
+		}
+		u.eAdj[l] = int32(e)
+	}
+	return u
+}
+
+// packLanes assembles final bit patterns for the masked lanes into out,
+// using the same carry-propagating ((eRc-1)<<23) + M gate add as the scalar
+// pack.
+func (c *SlicedCircuit) packLanes(mask, sign Word, eR []int, m WBits, out []uint32) {
+	eVals := make([]uint64, len(eR))
+	for l := range eR {
+		if mask&(Word(1)<<uint(l)) != 0 {
+			eVals[l] = uint64(eR[l] - 1)
+		}
+	}
+	e := PackLanes(eVals, 10)
+	shifted := make(WBits, 33)
+	copy(shifted[23:], e)
+	sum := c.AddBits(mask, shifted, m, 0)
+	low := sum[:33]
+	for l := range eR {
+		if mask&(Word(1)<<uint(l)) == 0 {
+			continue
+		}
+		full := low.Lane(l)
+		var v uint32
+		if full>>23 >= expMask { // exponent overflow -> infinity
+			v = expMask << 23
+		} else {
+			v = uint32(full)
+		}
+		if sign&(Word(1)<<uint(l)) != 0 {
+			v |= 1 << signShift
+		}
+		out[l] = v
+	}
+}
+
+// roundRNELanes rounds the 24-plane significand given guard and sticky
+// planes, returning 25 planes (possible carry out).
+func (c *SlicedCircuit) roundRNELanes(mask Word, m WBits, guard, sticky Word) WBits {
+	lsb := m[0]
+	roundUp := c.AND(mask, guard, c.OR(mask, sticky, lsb))
+	inc := make(WBits, 1)
+	inc[0] = roundUp
+	return c.AddBits(mask, m, inc, 0)
+}
+
+// selPlanes merges two plane vectors lane-wise: x where sel, y elsewhere
+// (host data movement — the sliced form of the scalar operand swap).
+func selPlanes(sel Word, x, y WBits) WBits {
+	n := len(x)
+	if len(y) > n {
+		n = len(y)
+	}
+	out := make(WBits, n)
+	for i := 0; i < n; i++ {
+		var xb, yb Word
+		if i < len(x) {
+			xb = x[i]
+		}
+		if i < len(y) {
+			yb = y[i]
+		}
+		out[i] = xb&sel | yb&^sel
+	}
+	return out
+}
+
+func checkLaneArgs(a, b []uint32) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("nor: lane operand lengths differ (%d vs %d)", len(a), len(b)))
+	}
+	if len(a) > Lanes {
+		panic(fmt.Sprintf("nor: %d operand pairs exceed %d lanes", len(a), Lanes))
+	}
+	return len(a)
+}
+
+// MulFP32Lanes multiplies up to 64 float32 bit-pattern pairs lane-wise.
+func (c *SlicedCircuit) MulFP32Lanes(a, b []uint32) []uint32 {
+	n := checkLaneArgs(a, b)
+	if n == 0 {
+		return nil
+	}
+	active := LaneMask(n)
+	ua := c.unpackLanes(active, a)
+	ub := c.unpackLanes(active, b)
+	sign := c.XOR(active, ua.sign, ub.sign)
+
+	out := make([]uint32, n)
+	var resolved Word
+	for l := 0; l < n; l++ {
+		bit := Word(1) << uint(l)
+		switch {
+		case (ua.isNaN|ub.isNaN)&bit != 0:
+			out[l] = quietNaN
+			resolved |= bit
+		case (ua.isInf|ub.isInf)&bit != 0:
+			if (ua.isZer|ub.isZer)&bit != 0 {
+				out[l] = quietNaN // inf * 0
+			} else {
+				v := uint32(expMask << 23)
+				if sign&bit != 0 {
+					v |= 1 << signShift
+				}
+				out[l] = v
+			}
+			resolved |= bit
+		}
+	}
+	live := active &^ resolved
+	if live == 0 {
+		return out
+	}
+
+	// 24x24 -> 48-plane gate-level product and normalization scan.
+	p := c.MulBits(live, ua.mant, ub.mant)
+	lzPl := c.LeadingZeros(live, p)
+	lz := make([]int, n)
+	for l := 0; l < n; l++ {
+		lz[l] = int(lzPl.Lane(l))
+	}
+	for l := 0; l < n; l++ {
+		bit := Word(1) << uint(l)
+		if live&bit != 0 && lz[l] == 48 { // zero product
+			if sign&bit != 0 {
+				out[l] = 1 << signShift
+			}
+			live &^= bit
+		}
+	}
+	if live == 0 {
+		return out
+	}
+
+	pn := c.ShiftLeftBits(live, p, lzPl)
+	eR := make([]int, n)
+	for l := 0; l < n; l++ {
+		eR[l] = int(ua.eAdj[l]) + int(ub.eAdj[l]) - lz[l] - 126
+	}
+
+	m := pn[24:48].Clone()
+	guard := pn[23]
+	sticky := c.OrReduce(live, pn[:23])
+
+	// Subnormal lanes: shift right until the exponent reaches 1. Lanes with
+	// a zero shift amount pass through the masked shifter unchanged.
+	var subM Word
+	dVals := make([]uint64, n)
+	for l := 0; l < n; l++ {
+		bit := Word(1) << uint(l)
+		if live&bit != 0 && eR[l] < 1 {
+			d := 1 - eR[l]
+			if d > 31 {
+				d = 31
+			}
+			dVals[l] = uint64(d)
+			subM |= bit
+			eR[l] = 1
+		}
+	}
+	if subM != 0 {
+		ext := make(WBits, 25)
+		copy(ext[1:], m)
+		ext[0] = guard
+		shifted, lost := c.ShiftRightBits(subM, ext, PackLanes(dVals, 5))
+		sticky = c.OR(subM, sticky, lost)
+		m = shifted[1:25].Clone()
+		guard = shifted[0]
+	}
+
+	rounded := c.roundRNELanes(live, m, guard, sticky)
+	c.packLanes(live, sign, eR, rounded[:25], out)
+	return out
+}
+
+// AddFP32Lanes adds up to 64 float32 bit-pattern pairs lane-wise.
+func (c *SlicedCircuit) AddFP32Lanes(a, b []uint32) []uint32 {
+	n := checkLaneArgs(a, b)
+	if n == 0 {
+		return nil
+	}
+	active := LaneMask(n)
+	ua := c.unpackLanes(active, a)
+	ub := c.unpackLanes(active, b)
+
+	out := make([]uint32, n)
+	var resolved Word
+	for l := 0; l < n; l++ {
+		bit := Word(1) << uint(l)
+		switch {
+		case (ua.isNaN|ub.isNaN)&bit != 0:
+			out[l] = quietNaN
+			resolved |= bit
+		case ua.isInf&ub.isInf&bit != 0:
+			if (ua.sign^ub.sign)&bit != 0 {
+				out[l] = quietNaN // inf - inf
+			} else {
+				out[l] = a[l]
+			}
+			resolved |= bit
+		case ua.isInf&bit != 0:
+			out[l] = a[l]
+			resolved |= bit
+		case ub.isInf&bit != 0:
+			out[l] = b[l]
+			resolved |= bit
+		}
+	}
+	live := active &^ resolved
+	if live == 0 {
+		return out
+	}
+
+	// Order operands by magnitude with a gate comparison of the low 31 bits.
+	magAv := make([]uint64, n)
+	magBv := make([]uint64, n)
+	for l := 0; l < n; l++ {
+		magAv[l] = uint64(a[l] & 0x7FFFFFFF)
+		magBv[l] = uint64(b[l] & 0x7FFFFFFF)
+	}
+	aGE := c.GEBits(live, PackLanes(magAv, 31), PackLanes(magBv, 31))
+
+	mantL := selPlanes(aGE, ua.mant, ub.mant)
+	mantS := selPlanes(aGE, ub.mant, ua.mant)
+	signL := ua.sign&aGE | ub.sign&^aGE
+	signS := ub.sign&aGE | ua.sign&^aGE
+	eL := make([]int, n)
+	eS := make([]int, n)
+	for l := 0; l < n; l++ {
+		if aGE&(Word(1)<<uint(l)) != 0 {
+			eL[l], eS[l] = int(ua.eAdj[l]), int(ub.eAdj[l])
+		} else {
+			eL[l], eS[l] = int(ub.eAdj[l]), int(ua.eAdj[l])
+		}
+	}
+
+	// Align: 3 GRS planes below the significands; shift the small operand
+	// right by the per-lane exponent difference.
+	mL := make(WBits, 28)
+	copy(mL[3:27], mantL)
+	mS := make(WBits, 28)
+	copy(mS[3:27], mantS)
+	var sticky, dPos Word
+	shVals := make([]uint64, n)
+	for l := 0; l < n; l++ {
+		bit := Word(1) << uint(l)
+		if live&bit == 0 {
+			continue
+		}
+		if d := eL[l] - eS[l]; d > 0 {
+			if d > 31 {
+				d = 31
+			}
+			shVals[l] = uint64(d)
+			dPos |= bit
+		}
+	}
+	if dPos != 0 {
+		var lost Word
+		mS, lost = c.ShiftRightBits(dPos, mS, PackLanes(shVals, 5))
+		sticky = c.OR(dPos, sticky, lost)
+	}
+
+	sameSign := ^c.XOR(live, signL, signS)
+	addM := live & sameSign
+	subM := live &^ sameSign
+
+	r := make(WBits, 29)
+	if addM != 0 {
+		sum := c.AddBits(addM, mL, mS, 0)
+		for i := range r {
+			r[i] = sum[i] & addM
+		}
+	}
+	if subM != 0 {
+		// |L| >= |S|: no borrow. Truncated alignment bits borrow one ULP.
+		diff, _ := c.SubBits(subM, mL, mS)
+		if stickySub := subM & sticky; stickySub != 0 {
+			one := WBits{^Word(0)}
+			d2, _ := c.SubBits(stickySub, diff, one)
+			for i := range diff {
+				diff[i] = d2[i]&stickySub | diff[i]&^stickySub
+			}
+		}
+		for i := 0; i < 28; i++ {
+			r[i] |= diff[i] & subM
+		}
+	}
+
+	// Exact cancellation lanes.
+	orr := c.OrReduce(live, r)
+	for l := 0; l < n; l++ {
+		bit := Word(1) << uint(l)
+		if live&bit == 0 || (orr|sticky)&bit != 0 {
+			continue
+		}
+		if ua.isZer&ub.isZer&ua.sign&ub.sign&bit != 0 {
+			out[l] = 1 << signShift // (-0) + (-0)
+		}
+		live &^= bit
+	}
+	if live == 0 {
+		return out
+	}
+
+	// Normalize: per-lane leading-one position decides right shift (by at
+	// most 2), left shift (clamped so the exponent never drops below 1), or
+	// none; the two masked barrel shifts leave other lanes untouched.
+	lzPl := c.LeadingZeros(live, r)
+	eR := make([]int, n)
+	var kGT, kLT Word
+	shGT := make([]uint64, n)
+	shLT := make([]uint64, n)
+	for l := 0; l < n; l++ {
+		bit := Word(1) << uint(l)
+		if live&bit == 0 {
+			continue
+		}
+		k := 28 - int(lzPl.Lane(l))
+		eR[l] = eL[l] + k - 26
+		if k > 26 {
+			shGT[l] = uint64(k - 26)
+			kGT |= bit
+		} else if k < 26 {
+			sh := 26 - k
+			if eR[l] < 1 {
+				sh = eL[l] - 1
+				if sh < 0 {
+					sh = 0
+				}
+				eR[l] = 1
+			}
+			shLT[l] = uint64(sh)
+			kLT |= bit
+		}
+	}
+	if kGT != 0 {
+		var lost Word
+		r, lost = c.ShiftRightBits(kGT, r, PackLanes(shGT, 2))
+		sticky = c.OR(kGT, sticky, lost)
+	}
+	if kLT != 0 {
+		r = c.ShiftLeftBits(kLT, r, PackLanes(shLT, 5))
+	}
+
+	m := r[3:27].Clone()
+	guard := r[2]
+	sticky = c.OR(live, sticky, c.OR(live, r[1], r[0]))
+
+	var subN Word
+	ddVals := make([]uint64, n)
+	for l := 0; l < n; l++ {
+		bit := Word(1) << uint(l)
+		if live&bit != 0 && eR[l] < 1 {
+			dd := 1 - eR[l]
+			if dd > 31 {
+				dd = 31
+			}
+			ddVals[l] = uint64(dd)
+			subN |= bit
+			eR[l] = 1
+		}
+	}
+	if subN != 0 {
+		ext := make(WBits, 25)
+		copy(ext[1:], m)
+		ext[0] = guard
+		shifted, lost := c.ShiftRightBits(subN, ext, PackLanes(ddVals, 5))
+		sticky = c.OR(subN, sticky, lost)
+		m = shifted[1:25].Clone()
+		guard = shifted[0]
+	}
+
+	rounded := c.roundRNELanes(live, m, guard, sticky)
+	c.packLanes(live, signL, eR, rounded[:25], out)
+	return out
+}
+
+// MulFloat32Lanes and AddFloat32Lanes are convenience wrappers over
+// float32 values.
+func (c *SlicedCircuit) MulFloat32Lanes(a, b []float32) []float32 {
+	return lanesFromBits(c.MulFP32Lanes(lanesToBits(a), lanesToBits(b)))
+}
+
+func (c *SlicedCircuit) AddFloat32Lanes(a, b []float32) []float32 {
+	return lanesFromBits(c.AddFP32Lanes(lanesToBits(a), lanesToBits(b)))
+}
+
+func lanesToBits(v []float32) []uint32 {
+	out := make([]uint32, len(v))
+	for i, x := range v {
+		out[i] = math.Float32bits(x)
+	}
+	return out
+}
+
+func lanesFromBits(v []uint32) []float32 {
+	out := make([]float32, len(v))
+	for i, x := range v {
+		out[i] = math.Float32frombits(x)
+	}
+	return out
+}

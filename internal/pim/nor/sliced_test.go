@@ -1,0 +1,215 @@
+package nor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The sliced substrate's contract is exact equivalence with the scalar
+// gate path: identical result bits AND identical Stats (NOREvals, Sets,
+// Resets) for any batch of lanes. These tests enforce both, over random
+// inputs skewed toward the hard regions (subnormals, NaN, Inf, zeros,
+// cancellation) and over the shared edge-case table.
+
+// randFP32 draws a float32 bit pattern from a category mix that exercises
+// every datapath branch.
+func randFP32(rng *rand.Rand) uint32 {
+	switch rng.Intn(10) {
+	case 0: // special exponents: NaN, Inf
+		v := uint32(expMask) << 23
+		if rng.Intn(2) == 0 {
+			v |= uint32(rng.Intn(1 << 23)) // NaN when frac != 0
+		}
+		if rng.Intn(2) == 0 {
+			v |= 1 << signShift
+		}
+		return v
+	case 1: // zero and subnormals
+		v := uint32(rng.Intn(1 << 23))
+		if rng.Intn(2) == 0 {
+			v |= 1 << signShift
+		}
+		return v
+	case 2: // small exponents: results underflow to subnormals
+		return uint32(rng.Intn(40))<<23 | uint32(rng.Intn(1<<23)) | uint32(rng.Intn(2))<<signShift
+	case 3: // large exponents: results overflow to Inf
+		return uint32(215+rng.Intn(40))<<23 | uint32(rng.Intn(1<<23)) | uint32(rng.Intn(2))<<signShift
+	default: // anything
+		return rng.Uint32()
+	}
+}
+
+// scalarLanes runs the scalar datapath once per lane, returning the outputs
+// and the total Stats — the reference the sliced path must match exactly.
+func scalarLanes(op func(*Circuit, uint32, uint32) uint32, a, b []uint32) ([]uint32, Stats) {
+	var c Circuit
+	out := make([]uint32, len(a))
+	for i := range a {
+		out[i] = op(&c, a[i], b[i])
+	}
+	return out, c.Stats
+}
+
+func checkLanesEqual(t *testing.T, name string, a, b, got, want []uint32, gotStats, wantStats Stats) {
+	t.Helper()
+	for l := range want {
+		if got[l] != want[l] {
+			t.Errorf("%s lane %d: (%08x, %08x) sliced %08x, scalar %08x (%g op %g)",
+				name, l, a[l], b[l], got[l], want[l],
+				math.Float32frombits(a[l]), math.Float32frombits(b[l]))
+		}
+	}
+	if gotStats != wantStats {
+		t.Errorf("%s stats: sliced %+v, scalar %+v", name, gotStats, wantStats)
+	}
+}
+
+func TestSlicedMulFP32Differential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for batch := 0; batch < 60; batch++ {
+		n := 1 + rng.Intn(Lanes)
+		a := make([]uint32, n)
+		b := make([]uint32, n)
+		for i := range a {
+			a[i], b[i] = randFP32(rng), randFP32(rng)
+		}
+		want, wantStats := scalarLanes((*Circuit).MulFP32, a, b)
+		var sc SlicedCircuit
+		got := sc.MulFP32Lanes(a, b)
+		checkLanesEqual(t, "MulFP32Lanes", a, b, got, want, sc.Stats, wantStats)
+	}
+}
+
+func TestSlicedAddFP32Differential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for batch := 0; batch < 60; batch++ {
+		n := 1 + rng.Intn(Lanes)
+		a := make([]uint32, n)
+		b := make([]uint32, n)
+		for i := range a {
+			a[i], b[i] = randFP32(rng), randFP32(rng)
+			if rng.Intn(8) == 0 {
+				b[i] = a[i] ^ 1<<signShift // exact cancellation
+			}
+			if rng.Intn(8) == 0 {
+				b[i] = (a[i] + uint32(rng.Intn(4))) ^ 1<<signShift // near cancellation
+			}
+		}
+		want, wantStats := scalarLanes((*Circuit).AddFP32, a, b)
+		var sc SlicedCircuit
+		got := sc.AddFP32Lanes(a, b)
+		checkLanesEqual(t, "AddFP32Lanes", a, b, got, want, sc.Stats, wantStats)
+	}
+}
+
+// The shared edge-case table, all pairs, batched through the lanes.
+func TestSlicedFP32EdgeCases(t *testing.T) {
+	var a, b []uint32
+	for _, x := range fpEdgeCases {
+		for _, y := range fpEdgeCases {
+			a = append(a, x)
+			b = append(b, y)
+		}
+	}
+	for lo := 0; lo < len(a); lo += Lanes {
+		hi := lo + Lanes
+		if hi > len(a) {
+			hi = len(a)
+		}
+		wantM, wantMS := scalarLanes((*Circuit).MulFP32, a[lo:hi], b[lo:hi])
+		var sm SlicedCircuit
+		gotM := sm.MulFP32Lanes(a[lo:hi], b[lo:hi])
+		checkLanesEqual(t, "MulFP32Lanes", a[lo:hi], b[lo:hi], gotM, wantM, sm.Stats, wantMS)
+
+		wantA, wantAS := scalarLanes((*Circuit).AddFP32, a[lo:hi], b[lo:hi])
+		var sa SlicedCircuit
+		gotA := sa.AddFP32Lanes(a[lo:hi], b[lo:hi])
+		checkLanesEqual(t, "AddFP32Lanes", a[lo:hi], b[lo:hi], gotA, wantA, sa.Stats, wantAS)
+	}
+}
+
+// Integer blocks: each sliced block must match the scalar block per lane,
+// in both value and Stats.
+func TestSlicedIntBlocksDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const width = 16
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(Lanes)
+		av := make([]uint64, n)
+		bv := make([]uint64, n)
+		shv := make([]uint64, n)
+		for i := range av {
+			av[i] = uint64(rng.Intn(1 << width))
+			bv[i] = uint64(rng.Intn(1 << width))
+			shv[i] = uint64(rng.Intn(1 << 5))
+		}
+		mask := LaneMask(n)
+		aPl := PackLanes(av, width)
+		bPl := PackLanes(bv, width)
+		shPl := PackLanes(shv, 5)
+
+		var sc SlicedCircuit
+		sum := sc.AddBits(mask, aPl, bPl, 0)
+		diff, ge := sc.SubBits(mask, aPl, bPl)
+		prod := sc.MulBits(mask, aPl, bPl)
+		shr, stk := sc.ShiftRightBits(mask, aPl, shPl)
+		shl := sc.ShiftLeftBits(mask, aPl, shPl)
+		lz := sc.LeadingZeros(mask, aPl)
+
+		var c Circuit
+		for l := 0; l < n; l++ {
+			a := BitsFromUint(av[l], width)
+			b := BitsFromUint(bv[l], width)
+			sh := BitsFromUint(shv[l], 5)
+			if got, want := sum.Lane(l), c.AddBits(a, b, false).Uint(); got != want {
+				t.Fatalf("AddBits lane %d: %x != %x", l, got, want)
+			}
+			wd, wge := c.SubBits(a, b)
+			if got := diff.Lane(l); got != wd.Uint() {
+				t.Fatalf("SubBits lane %d: %x != %x", l, got, wd.Uint())
+			}
+			if got := ge>>uint(l)&1 == 1; got != wge {
+				t.Fatalf("SubBits noBorrow lane %d: %v != %v", l, got, wge)
+			}
+			if got, want := prod.Lane(l), c.MulBits(a, b).Uint(); got != want {
+				t.Fatalf("MulBits lane %d: %x != %x", l, got, want)
+			}
+			wshr, wstk := c.ShiftRightBits(a, sh)
+			if got := shr.Lane(l); got != wshr.Uint() {
+				t.Fatalf("ShiftRightBits lane %d: %x != %x", l, got, wshr.Uint())
+			}
+			if got := stk>>uint(l)&1 == 1; got != wstk {
+				t.Fatalf("ShiftRightBits sticky lane %d: %v != %v", l, got, wstk)
+			}
+			if got, want := shl.Lane(l), c.ShiftLeftBits(a, sh).Uint(); got != want {
+				t.Fatalf("ShiftLeftBits lane %d: %x != %x", l, got, want)
+			}
+			if got, want := lz.Lane(l), c.LeadingZeros(a).Uint(); got != want {
+				t.Fatalf("LeadingZeros lane %d: %d != %d", l, got, want)
+			}
+		}
+		if sc.Stats != c.Stats {
+			t.Fatalf("int block stats: sliced %+v, scalar %+v", sc.Stats, c.Stats)
+		}
+	}
+}
+
+// Empty and single-lane batches behave.
+func TestSlicedLaneEdges(t *testing.T) {
+	var sc SlicedCircuit
+	if got := sc.MulFP32Lanes(nil, nil); got != nil {
+		t.Errorf("empty mul batch: %v", got)
+	}
+	if got := sc.AddFP32Lanes(nil, nil); got != nil {
+		t.Errorf("empty add batch: %v", got)
+	}
+	got := sc.MulFloat32Lanes([]float32{3}, []float32{4})
+	if len(got) != 1 || got[0] != 12 {
+		t.Errorf("MulFloat32Lanes single: %v", got)
+	}
+	got = sc.AddFloat32Lanes([]float32{1.5}, []float32{2.25})
+	if len(got) != 1 || got[0] != 3.75 {
+		t.Errorf("AddFloat32Lanes single: %v", got)
+	}
+}

@@ -17,6 +17,9 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"wavepim/internal/params"
 	"wavepim/internal/pim/chip"
@@ -50,6 +53,13 @@ type RowTransfer struct {
 type Engine struct {
 	Chip       *chip.Chip
 	Functional bool
+	// Workers > 1 fans the per-block work of ExecBlocks across that many
+	// goroutines — the software mirror of the chip's defining property that
+	// blocks execute in parallel. Results, timeline, and energy are
+	// bit-identical to the serial path: per-block contributions are merged
+	// in ascending block order regardless of completion order. 0 or 1 keeps
+	// the serial path.
+	Workers int
 
 	Timeline    []Phase
 	TotalEnergy float64
@@ -158,30 +168,110 @@ func InstrCost(in isa.Instr) (sec, joules float64) {
 // ExecBlocks executes one program per block, all blocks in parallel (the
 // chip's defining property). Returns an unplaced Phase whose duration is
 // the longest per-block program and whose energy is the sum.
+//
+// With Workers > 1 the per-block programs run on a goroutine pool; the
+// commit stays deterministic because per-block durations, energies, and
+// instruction counts are accumulated privately and merged in ascending
+// block order (the serial path uses the same sorted order, so serial and
+// parallel runs produce identical floating-point sums).
 func (e *Engine) ExecBlocks(name string, progs map[int][]isa.Instr) Phase {
-	var maxDur, energy float64
-	for blockID, prog := range progs {
-		var dur float64
-		for _, in := range prog {
+	ids := make([]int, 0, len(progs))
+	for id := range progs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	type blockCost struct {
+		dur, energy float64
+		instrs      int64
+	}
+	costs := make([]blockCost, len(ids))
+	runBlock := func(i int) {
+		blockID := ids[i]
+		c := &costs[i]
+		for _, in := range progs[blockID] {
 			sec, j := InstrCost(in)
-			dur += sec
-			energy += j
-			e.InstrCount++
+			c.dur += sec
+			c.energy += j
+			c.instrs++
 			if in.Op == isa.OpLUT {
 				// Transit of the fetched word from the LUT block.
 				tsec, tj := e.transferCost(in.LUTBlock, blockID, 1)
-				dur += tsec
-				energy += tj
+				c.dur += tsec
+				c.energy += tj
 			}
 			if e.Functional {
 				e.execInstr(blockID, in)
 			}
 		}
-		if dur > maxDur {
-			maxDur = dur
+	}
+
+	if workers := e.execWorkers(len(ids)); workers > 1 && blocksIndependent(progs) {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(ids) {
+						return
+					}
+					runBlock(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range ids {
+			runBlock(i)
 		}
 	}
+
+	var maxDur, energy float64
+	for i := range costs {
+		if costs[i].dur > maxDur {
+			maxDur = costs[i].dur
+		}
+		energy += costs[i].energy
+		e.InstrCount += costs[i].instrs
+	}
 	return Phase{Name: name, Kind: "blocks", Dur: maxDur, EnergyJ: energy}
+}
+
+// execWorkers bounds the pool size by the work available.
+func (e *Engine) execWorkers(nBlocks int) int {
+	w := e.Workers
+	if w > nBlocks {
+		w = nBlocks
+	}
+	return w
+}
+
+// blocksIndependent reports whether every program touches only its own
+// block's mutable state, so the programs can run concurrently. Reads from
+// foreign LUT blocks are allowed as long as no program in the phase runs on
+// (and could mutate) those blocks; memcpy and foreign-row read/write force
+// the serial path.
+func blocksIndependent(progs map[int][]isa.Instr) bool {
+	for blockID, prog := range progs {
+		for _, in := range prog {
+			switch in.Op {
+			case isa.OpMemcpy:
+				return false
+			case isa.OpRead, isa.OpWrite:
+				if in.Block != blockID {
+					return false
+				}
+			case isa.OpLUT:
+				if _, ok := progs[in.LUTBlock]; ok {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // ExecEncoded executes assembled 64-bit instruction streams — the actual

@@ -348,7 +348,7 @@ func NewFunctionalElastic(m *mesh.Mesh, mat material.Elastic, flux dg.FluxType, 
 		Mesh: m, Mat: mat,
 		Comp:   NewCompiler(plan, m.Np, flux),
 		Place:  NewPlacement(ElasticFourBlock, m.EPerAxis, true),
-		Engine: sim.New(ch, true),
+		Engine: newFunctionalEngine(ch),
 		Dt:     dt,
 	}, nil
 }

@@ -141,7 +141,7 @@ func NewFunctionalAcousticExpanded(m *mesh.Mesh, mat material.Acoustic, flux dg.
 		Mat:    mat,
 		Comp:   NewCompiler(plan, m.Np, flux),
 		Place:  NewPlacement(AcousticFourBlock, m.EPerAxis, true),
-		Engine: sim.New(ch, true),
+		Engine: newFunctionalEngine(ch),
 		Dt:     dt,
 	}, nil
 }

@@ -218,7 +218,7 @@ func NewFunctionalMaxwell(m *mesh.Mesh, mat material.Dielectric, flux dg.FluxTyp
 		Mesh: m, Mat: mat,
 		Comp:   NewCompiler(plan, m.Np, flux),
 		Place:  NewPlacement(ElasticFourBlock, m.EPerAxis, true),
-		Engine: sim.New(ch, true),
+		Engine: newFunctionalEngine(ch),
 		Dt:     dt,
 	}, nil
 }

@@ -2,6 +2,7 @@ package wavepim
 
 import (
 	"fmt"
+	"runtime"
 
 	"wavepim/internal/dg"
 	"wavepim/internal/material"
@@ -24,6 +25,15 @@ func chipFor(nBlocks int) chip.Config {
 
 // newChip wraps chip.New for the functional constructors.
 func newChip(cfg chip.Config) (*chip.Chip, error) { return chip.New(cfg) }
+
+// newFunctionalEngine builds a functional engine with its worker pool sized
+// to the machine, so per-block functional execution uses every core. The
+// engine's merge order makes results identical to a serial run.
+func newFunctionalEngine(ch *chip.Chip) *sim.Engine {
+	e := sim.New(ch, true)
+	e.Workers = runtime.GOMAXPROCS(0)
+	return e
+}
 
 // FunctionalAcoustic is a fully functional PIM execution of the acoustic
 // simulation on the naive one-block layout: every float32 value lives in
@@ -69,7 +79,7 @@ func NewFunctionalAcoustic(m *mesh.Mesh, mat material.Acoustic, flux dg.FluxType
 		Mat:    mat,
 		Comp:   NewCompiler(plan, m.Np, flux),
 		Place:  NewPlacement(AcousticOneBlock, m.EPerAxis, true),
-		Engine: sim.New(ch, true),
+		Engine: newFunctionalEngine(ch),
 		Dt:     dt,
 	}
 	f.volume = f.Comp.VolumeOneBlock()

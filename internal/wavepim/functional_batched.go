@@ -56,7 +56,7 @@ func NewFunctionalAcousticBatched(m *mesh.Mesh, mat material.Acoustic, flux dg.F
 	f := &FunctionalAcousticBatched{
 		Mesh: m, Mat: mat,
 		Comp:           NewCompiler(plan, m.Np, flux),
-		Engine:         sim.New(ch, true),
+		Engine:         newFunctionalEngine(ch),
 		Dt:             dt,
 		SlicesPerBatch: slicesPerBatch,
 		batches:        m.NumSlices() / slicesPerBatch,
