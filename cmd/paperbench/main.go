@@ -6,20 +6,42 @@
 //	paperbench               # everything
 //	paperbench -exp fig11    # one experiment
 //	                         # (sec3.1, table2..table6, fig11..fig14, headline)
+//
+// With -trace and/or -metrics it instead times one instrumented PIM run
+// (selected by -eq, -refine, -chip) and exports its observability output:
+// a Chrome trace_event JSON of the Figure 13 stage pipeline, and the full
+// metrics-registry snapshot.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"wavepim/internal/dg/opcount"
 	"wavepim/internal/experiments"
+	"wavepim/internal/obs"
 	"wavepim/internal/pim/chip"
+	"wavepim/internal/wavepim"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, sec3.1, table2, table3, table4, table5, table6, fig11, fig12, fig13, fig14, opmix, headline")
+	tracePath := flag.String("trace", "", "write a Chrome trace of one instrumented run to this file")
+	metricsPath := flag.String("metrics", "", "write one instrumented run's metrics registry (JSON) to this file")
+	eqName := flag.String("eq", "acoustic", "instrumented run equation: acoustic, elastic-central, elastic-riemann, maxwell")
+	refine := flag.Int("refine", 4, "instrumented run refinement level")
+	chipName := flag.String("chip", "PIM-16GB", "instrumented run chip configuration (PIM-512MB, PIM-2GB, PIM-8GB, PIM-16GB)")
 	flag.Parse()
+
+	if *tracePath != "" || *metricsPath != "" {
+		if err := instrumentedRun(*eqName, *refine, *chipName, *tracePath, *metricsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	any := false
@@ -94,4 +116,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// instrumentedRun times one benchmark with an observability sink attached
+// and exports the requested artifacts.
+func instrumentedRun(eqName string, refine int, chipName, tracePath, metricsPath string) error {
+	var eq opcount.Equation
+	switch eqName {
+	case "acoustic":
+		eq = opcount.Acoustic
+	case "elastic-central":
+		eq = opcount.ElasticCentral
+	case "elastic-riemann":
+		eq = opcount.ElasticRiemann
+	case "maxwell":
+		eq = opcount.Maxwell
+	default:
+		return fmt.Errorf("unknown equation %q", eqName)
+	}
+	var cfg *chip.Config
+	for _, c := range chip.AllConfigs() {
+		if c.Name == chipName {
+			cc := c
+			cfg = &cc
+		}
+	}
+	if cfg == nil {
+		return fmt.Errorf("unknown chip configuration %q", chipName)
+	}
+	sink := obs.NewSink()
+	opt := wavepim.DefaultOptions()
+	opt.Obs = sink
+	b := opcount.Benchmark{Eq: eq, Refinement: refine}
+	res, err := wavepim.Run(b, *cfg, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s: %.4fs total, %.2f J, %d instr/stage\n",
+		b.Name(), cfg.Name, res.TotalSec, res.EnergyJ, res.InstrPerStage)
+	write := func(path string, export func(w io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := export(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if err := write(tracePath, sink.WriteTrace); err != nil {
+		return err
+	}
+	return write(metricsPath, sink.WriteMetrics)
 }

@@ -5,17 +5,28 @@
 // Usage:
 //
 //	wavesim -eq acoustic -refine 2 -np 6 -steps 100 -flux riemann
+//
+// With -trace and/or -metrics it additionally times the matching PIM
+// benchmark and exports observability output: -trace writes a Chrome
+// trace_event JSON (chrome://tracing, Perfetto) of the Figure 13
+// Volume/Fetch/Flux/Integration stage pipeline; -metrics writes the full
+// metrics-registry snapshot (dG solver RHS timings plus PIM run gauges).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
 	"wavepim/internal/dg"
+	"wavepim/internal/dg/opcount"
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
+	"wavepim/internal/obs"
+	"wavepim/internal/pim/chip"
+	"wavepim/internal/wavepim"
 )
 
 func main() {
@@ -25,7 +36,14 @@ func main() {
 	steps := flag.Int("steps", 100, "time steps")
 	fluxName := flag.String("flux", "riemann", "flux solver: central or riemann")
 	cfl := flag.Float64("cfl", 0.3, "CFL number")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the PIM stage pipeline to this file")
+	metricsPath := flag.String("metrics", "", "write the metrics registry snapshot (JSON) to this file")
 	flag.Parse()
+
+	var sink *obs.Sink
+	if *tracePath != "" || *metricsPath != "" {
+		sink = obs.NewSink()
+	}
 
 	var flux dg.FluxType
 	switch *fluxName {
@@ -46,6 +64,7 @@ func main() {
 	case "acoustic":
 		mat := material.Acoustic{Kappa: 2.25, Rho: 1.0}
 		s := dg.NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, mat), flux)
+		s.Obs = sink
 		q := dg.NewAcousticState(m)
 		dg.PlaneWaveX(m, mat, 1, q)
 		it := dg.NewAcousticIntegrator(s)
@@ -69,6 +88,7 @@ func main() {
 	case "elastic":
 		mat := material.Elastic{Lambda: 2, Mu: 1, Rho: 1}
 		s := dg.NewElasticSolver(m, material.UniformElastic(m.NumElem, mat), flux)
+		s.Obs = sink
 		q := dg.NewElasticState(m)
 		dg.PlaneWavePX(m, mat, 1, q)
 		it := dg.NewElasticIntegrator(s)
@@ -93,6 +113,7 @@ func main() {
 	case "maxwell":
 		mat := material.Dielectric{Eps: 2.25, Mu: 1}
 		s := dg.NewMaxwellSolver(m, mat, flux)
+		s.Obs = sink
 		q := dg.NewMaxwellState(m)
 		dg.PlaneWaveEM(m, mat, 1, q)
 		it := dg.NewMaxwellIntegrator(s)
@@ -119,4 +140,57 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown equation %q\n", *eq)
 		os.Exit(2)
 	}
+
+	if sink == nil {
+		return
+	}
+	// Time the matching PIM benchmark so the trace carries the stage
+	// pipeline (Figure 13) alongside the dG solver's metrics.
+	pimEq := opcount.Acoustic
+	switch *eq {
+	case "elastic":
+		pimEq = opcount.ElasticRiemann
+		if flux == dg.CentralFlux {
+			pimEq = opcount.ElasticCentral
+		}
+	case "maxwell":
+		pimEq = opcount.Maxwell
+	}
+	opt := wavepim.DefaultOptions()
+	opt.TimeSteps = *steps
+	opt.Obs = sink
+	b := opcount.Benchmark{Eq: pimEq, Refinement: *refine}
+	res, err := wavepim.Run(b, chip.Config16GB(), opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pim run: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pim %s on PIM-16GB: %.4fs total, %.2f J (stage pipeline traced)\n",
+		b.Name(), res.TotalSec, res.EnergyJ)
+	if err := writeObs(sink, *tracePath, *metricsPath); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeObs exports the sink to the requested files.
+func writeObs(sink *obs.Sink, tracePath, metricsPath string) error {
+	write := func(path string, export func(w io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := export(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if err := write(tracePath, sink.WriteTrace); err != nil {
+		return err
+	}
+	return write(metricsPath, sink.WriteMetrics)
 }

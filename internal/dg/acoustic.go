@@ -3,9 +3,11 @@ package dg
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
+	"wavepim/internal/obs"
 )
 
 // FluxType selects the numerical flux solver used to reconcile
@@ -112,6 +114,9 @@ type AcousticSolver struct {
 	// Workers > 1 runs the RHS with that many goroutines (elements are
 	// independent; see parallel.go). Results are identical to serial.
 	Workers int
+	// Obs, when non-nil, records per-stage RHS timings and parallel-range
+	// utilization (see parallel.go). Nil keeps the uninstrumented path.
+	Obs *obs.Sink
 
 	scratch    [4][]float64 // per-element work arrays
 	parScratch []acousticScratch
@@ -135,6 +140,9 @@ func (s *AcousticSolver) RHS(q, rhs *AcousticState) {
 	if s.Workers > 1 {
 		s.RHSParallel(q, rhs, s.Workers)
 		return
+	}
+	if s.Obs != nil {
+		defer observeSerialRHS(s.Obs, "acoustic", time.Now())
 	}
 	s.VolumeKernel(q, rhs)
 	s.FluxKernel(q, rhs)

@@ -3,9 +3,11 @@ package dg
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
+	"wavepim/internal/obs"
 )
 
 // Stress component indices: the symmetric stress tensor is stored in Voigt
@@ -86,6 +88,9 @@ type ElasticSolver struct {
 	// Workers > 1 runs the RHS with that many goroutines (elements are
 	// independent; see parallel.go). Results are identical to serial.
 	Workers int
+	// Obs, when non-nil, records per-stage RHS timings and parallel-range
+	// utilization (see parallel.go). Nil keeps the uninstrumented path.
+	Obs *obs.Sink
 
 	scratch    [4][]float64
 	parScratch []elasticScratch
@@ -108,6 +113,9 @@ func (s *ElasticSolver) RHS(q, rhs *ElasticState) {
 	if s.Workers > 1 {
 		s.RHSParallel(q, rhs, s.Workers)
 		return
+	}
+	if s.Obs != nil {
+		defer observeSerialRHS(s.Obs, "elastic", time.Now())
 	}
 	s.VolumeKernel(q, rhs)
 	s.FluxKernel(q, rhs)

@@ -3,9 +3,11 @@ package dg
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
+	"wavepim/internal/obs"
 )
 
 // Maxwell's equations are the paper's third wave system (Section 2.1: "One
@@ -75,6 +77,9 @@ type MaxwellSolver struct {
 	// Workers > 1 runs the RHS with that many goroutines (elements are
 	// independent; see parallel.go). Results are identical to serial.
 	Workers int
+	// Obs, when non-nil, records per-stage RHS timings and parallel-range
+	// utilization (see parallel.go). Nil keeps the uninstrumented path.
+	Obs *obs.Sink
 
 	scratch    [3][]float64
 	parScratch []maxwellScratch
@@ -98,6 +103,9 @@ func (s *MaxwellSolver) RHS(q, rhs *MaxwellState) {
 	if s.Workers > 1 {
 		s.RHSParallel(q, rhs, s.Workers)
 		return
+	}
+	if s.Obs != nil {
+		defer observeSerialRHS(s.Obs, "maxwell", time.Now())
 	}
 	s.VolumeKernel(q, rhs)
 	s.FluxKernel(q, rhs)

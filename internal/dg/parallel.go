@@ -3,8 +3,11 @@ package dg
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"wavepim/internal/mesh"
+	"wavepim/internal/obs"
 )
 
 // Multi-core execution of the reference solvers. Elements are independent
@@ -57,6 +60,50 @@ func parallelFor(n, workers int, fn func(lo, hi, worker int)) {
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // ---------------------------------------------------------------------------
+// Instrumentation
+// ---------------------------------------------------------------------------
+
+// runRHS runs one RHS evaluation (per RK stage) through parallelFor,
+// instrumenting it when a sink is attached. The nil-sink path dispatches
+// straight to parallelFor with the uninstrumented body — a single pointer
+// check per RHS call, so BenchmarkRHSParallel is unaffected.
+//
+// With a sink attached it records, per equation name:
+//   - dg.rhs_seconds.<name>: wall-clock histogram of each stage's RHS
+//   - dg.rhs_calls.<name>: evaluation count
+//   - dg.par_utilization.<name>: sum of per-worker busy time over
+//     workers x wall — the parallel-range utilization (1.0 = every worker
+//     busy the whole evaluation)
+//   - dg.rhs_elems.<name>: elements processed
+func runRHS(sink *obs.Sink, name string, n, workers int, body func(lo, hi, w int)) {
+	if sink == nil {
+		parallelFor(n, workers, body)
+		return
+	}
+	start := time.Now()
+	var busyNs int64
+	parallelFor(n, workers, func(lo, hi, w int) {
+		t0 := time.Now()
+		body(lo, hi, w)
+		atomic.AddInt64(&busyNs, time.Since(t0).Nanoseconds())
+	})
+	wall := time.Since(start).Seconds()
+	sink.Histogram("dg.rhs_seconds." + name).Observe(wall)
+	sink.Counter("dg.rhs_calls." + name).Inc()
+	sink.Counter("dg.rhs_elems." + name).Add(int64(n))
+	if workers > 1 && wall > 0 {
+		sink.Gauge("dg.par_utilization." + name).Set(
+			float64(busyNs) * 1e-9 / (wall * float64(min(workers, n))))
+	}
+}
+
+// observeSerialRHS records one serial RHS evaluation's wall time.
+func observeSerialRHS(sink *obs.Sink, name string, start time.Time) {
+	sink.Histogram("dg.rhs_seconds." + name).Observe(time.Since(start).Seconds())
+	sink.Counter("dg.rhs_calls." + name).Inc()
+}
+
+// ---------------------------------------------------------------------------
 // Acoustic
 // ---------------------------------------------------------------------------
 
@@ -82,7 +129,7 @@ func (s *AcousticSolver) parScratchFor(workers int) []acousticScratch {
 func (s *AcousticSolver) RHSParallel(q, rhs *AcousticState, workers int) {
 	m := s.Op.M
 	scratch := s.parScratchFor(workers)
-	parallelFor(m.NumElem, workers, func(lo, hi, w int) {
+	runRHS(s.Obs, "acoustic", m.NumElem, workers, func(lo, hi, w int) {
 		sc := scratch[w]
 		for e := lo; e < hi; e++ {
 			s.volumeElem(q, rhs, e, sc.divV, sc.dPd)
@@ -117,7 +164,7 @@ func (s *ElasticSolver) parScratchFor(workers int) []elasticScratch {
 func (s *ElasticSolver) RHSParallel(q, rhs *ElasticState, workers int) {
 	m := s.Op.M
 	scratch := s.parScratchFor(workers)
-	parallelFor(m.NumElem, workers, func(lo, hi, w int) {
+	runRHS(s.Obs, "elastic", m.NumElem, workers, func(lo, hi, w int) {
 		sc := scratch[w]
 		for e := lo; e < hi; e++ {
 			s.volumeElem(q, rhs, e, sc.da, sc.db, sc.dc)
@@ -151,7 +198,7 @@ func (s *MaxwellSolver) parScratchFor(workers int) []maxwellScratch {
 func (s *MaxwellSolver) RHSParallel(q, rhs *MaxwellState, workers int) {
 	m := s.Op.M
 	scratch := s.parScratchFor(workers)
-	parallelFor(m.NumElem, workers, func(lo, hi, w int) {
+	runRHS(s.Obs, "maxwell", m.NumElem, workers, func(lo, hi, w int) {
 		sc := scratch[w]
 		for e := lo; e < hi; e++ {
 			s.volumeElem(q, rhs, e, sc.da, sc.db)

@@ -59,6 +59,11 @@ const (
 	numOpcodes
 )
 
+// NumOpcodes is the number of defined opcodes — the size callers need for
+// per-opcode counter arrays (e.g. the simulator's instruction-class
+// metrics).
+const NumOpcodes = int(numOpcodes)
+
 func (o Opcode) String() string {
 	switch o {
 	case OpNop:

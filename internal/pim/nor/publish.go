@@ -1,0 +1,18 @@
+package nor
+
+import "wavepim/internal/obs"
+
+// Publish promotes the circuit-local Stats into registry counters — the
+// observability layer's canonical names for the gate-level activity the
+// energy model consumes. Accumulation stays circuit-local (the gate loop
+// is far too hot for shared atomics); callers publish once per batch of
+// work, so the registry's nor.* counters equal the sum of every published
+// Stats. No-op against a nil registry.
+func (s Stats) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("nor.evals").Add(s.NOREvals)
+	reg.Counter("nor.sets").Add(s.Sets)
+	reg.Counter("nor.resets").Add(s.Resets)
+}

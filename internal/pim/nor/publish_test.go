@@ -1,0 +1,54 @@
+package nor
+
+import (
+	"testing"
+
+	"wavepim/internal/obs"
+)
+
+// TestPublishMatchesStats runs identical gate workloads through two
+// circuits, publishing one per-batch into a registry, and asserts the
+// registry counters equal the legacy Stats fields accumulated by the
+// other.
+func TestPublishMatchesStats(t *testing.T) {
+	workload := func(c *Circuit) {
+		for i := 0; i < 50; i++ {
+			a, b := i%2 == 0, i%3 == 0
+			c.XOR(a, b)
+			c.FullAdder(a, b, i%5 == 0)
+			c.MUX(a, b, !b)
+		}
+	}
+
+	var ref Circuit
+	reg := obs.NewRegistry()
+	const batches = 4
+	for i := 0; i < batches; i++ {
+		workload(&ref)
+		var batch Circuit
+		workload(&batch)
+		batch.Stats.Publish(reg)
+	}
+
+	snap := reg.Snapshot()
+	if ref.Stats.NOREvals == 0 {
+		t.Fatal("workload evaluated no gates; differential is vacuous")
+	}
+	if got := snap.Counters["nor.evals"]; got != ref.Stats.NOREvals {
+		t.Errorf("nor.evals: registry %d, Stats %d", got, ref.Stats.NOREvals)
+	}
+	if got := snap.Counters["nor.sets"]; got != ref.Stats.Sets {
+		t.Errorf("nor.sets: registry %d, Stats %d", got, ref.Stats.Sets)
+	}
+	if got := snap.Counters["nor.resets"]; got != ref.Stats.Resets {
+		t.Errorf("nor.resets: registry %d, Stats %d", got, ref.Stats.Resets)
+	}
+}
+
+// TestPublishNilRegistry: publishing into a nil registry is a no-op, not a
+// panic — the off switch for uninstrumented runs.
+func TestPublishNilRegistry(t *testing.T) {
+	var c Circuit
+	c.XOR(true, false)
+	c.Stats.Publish(nil)
+}

@@ -15,12 +15,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"wavepim/internal/obs"
 	"wavepim/internal/params"
 	"wavepim/internal/pim/chip"
 	"wavepim/internal/pim/intercon"
@@ -60,10 +62,20 @@ type Engine struct {
 	// in ascending block order regardless of completion order. 0 or 1 keeps
 	// the serial path.
 	Workers int
+	// Obs, when non-nil, receives per-phase spans and counters (phase
+	// durations and energies, instruction-class counts, per-block
+	// energies, worker-pool occupancy). Nil disables all instrumentation;
+	// the nil path is the uninstrumented hot path.
+	Obs *obs.Sink
 
 	Timeline    []Phase
 	TotalEnergy float64
 	clock       float64
+
+	// ctx, when set via SetContext, makes ExecBlocks cancellable; the
+	// first cancellation error is latched in err (see Err).
+	ctx context.Context
+	err error
 
 	// Instruction statistics.
 	InstrCount int64
@@ -93,6 +105,35 @@ func New(ch *chip.Chip, functional bool) *Engine {
 // Now returns the current clock.
 func (e *Engine) Now() float64 { return e.clock }
 
+// SetContext installs (or, with nil, removes) the context consulted by
+// ExecBlocks and the worker pool. A run driver sets it once for the whole
+// run so the per-phase call sites stay signature-compatible; ExecBlocksCtx
+// is the explicit-context form.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// Err returns the first cancellation error an ExecBlocks call observed
+// since the last Reset/ClearErr, or nil.
+func (e *Engine) Err() error { return e.err }
+
+// ClearErr resets the latched cancellation error.
+func (e *Engine) ClearErr() { e.err = nil }
+
+// trackOf maps a phase kind to a stable trace lane, so Chrome renders
+// compute, transfer, DRAM, and host activity as separate rows.
+func trackOf(kind string) int {
+	switch kind {
+	case "blocks":
+		return 0
+	case "transfer":
+		return 1
+	case "dram":
+		return 2
+	case "host":
+		return 3
+	}
+	return 4
+}
+
 // commit appends a phase at the given start and advances the clock to at
 // least its end.
 func (e *Engine) commit(p Phase, start float64) Phase {
@@ -102,6 +143,14 @@ func (e *Engine) commit(p Phase, start float64) Phase {
 	}
 	e.TotalEnergy += p.EnergyJ
 	e.Timeline = append(e.Timeline, p)
+	if e.Obs != nil {
+		e.Obs.Span(p.Name, p.Kind, p.Start, p.Dur, trackOf(p.Kind))
+		e.Obs.Counter("sim.phase.count." + p.Kind).Inc()
+		e.Obs.Histogram("sim.phase.seconds." + p.Kind).Observe(p.Dur)
+		e.Obs.Histogram("sim.phase.energy_joules." + p.Kind).Observe(p.EnergyJ)
+		e.Obs.Gauge("sim.clock_seconds").Set(e.clock)
+		e.Obs.Gauge("sim.total_energy_joules").Set(e.TotalEnergy)
+	}
 	return p
 }
 
@@ -174,7 +223,28 @@ func InstrCost(in isa.Instr) (sec, joules float64) {
 // instruction counts are accumulated privately and merged in ascending
 // block order (the serial path uses the same sorted order, so serial and
 // parallel runs produce identical floating-point sums).
+//
+// Cancellation: when a context was installed with SetContext, ExecBlocks
+// aborts between per-block programs once the context is done, latches the
+// error (see Err), and returns a zero Phase.
 func (e *Engine) ExecBlocks(name string, progs map[int][]isa.Instr) Phase {
+	ctx := e.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, err := e.ExecBlocksCtx(ctx, name, progs)
+	if err != nil && e.err == nil {
+		e.err = err
+	}
+	return p
+}
+
+// ExecBlocksCtx is ExecBlocks with an explicit context: the worker pool
+// stops claiming blocks as soon as ctx is done and the call returns
+// ctx.Err() instead of finishing the batch (no phase is produced and
+// nothing is charged to the timeline). In functional mode a cancelled
+// batch leaves the chip partially updated, as a real abort would.
+func (e *Engine) ExecBlocksCtx(ctx context.Context, name string, progs map[int][]isa.Instr) (Phase, error) {
 	ids := make([]int, 0, len(progs))
 	for id := range progs {
 		ids = append(ids, id)
@@ -186,6 +256,11 @@ func (e *Engine) ExecBlocks(name string, progs map[int][]isa.Instr) Phase {
 		instrs      int64
 	}
 	costs := make([]blockCost, len(ids))
+	instrumented := e.Obs != nil
+	var opCounts [][isa.NumOpcodes]int64
+	if instrumented {
+		opCounts = make([][isa.NumOpcodes]int64, len(ids))
+	}
 	runBlock := func(i int) {
 		blockID := ids[i]
 		c := &costs[i]
@@ -194,6 +269,9 @@ func (e *Engine) ExecBlocks(name string, progs map[int][]isa.Instr) Phase {
 			c.dur += sec
 			c.energy += j
 			c.instrs++
+			if instrumented {
+				opCounts[i][in.Op]++
+			}
 			if in.Op == isa.OpLUT {
 				// Transit of the fetched word from the LUT block.
 				tsec, tj := e.transferCost(in.LUTBlock, blockID, 1)
@@ -206,7 +284,10 @@ func (e *Engine) ExecBlocks(name string, progs map[int][]isa.Instr) Phase {
 		}
 	}
 
-	if workers := e.execWorkers(len(ids)); workers > 1 && blocksIndependent(progs) {
+	done := ctx.Done()
+	workers := e.execWorkers(len(ids))
+	parallel := workers > 1 && blocksIndependent(progs)
+	if parallel {
 		var next int64 = -1
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -214,6 +295,11 @@ func (e *Engine) ExecBlocks(name string, progs map[int][]isa.Instr) Phase {
 			go func() {
 				defer wg.Done()
 				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
 					i := int(atomic.AddInt64(&next, 1))
 					if i >= len(ids) {
 						return
@@ -225,8 +311,14 @@ func (e *Engine) ExecBlocks(name string, progs map[int][]isa.Instr) Phase {
 		wg.Wait()
 	} else {
 		for i := range ids {
+			if done != nil && ctx.Err() != nil {
+				break
+			}
 			runBlock(i)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Phase{}, err
 	}
 
 	var maxDur, energy float64
@@ -237,7 +329,29 @@ func (e *Engine) ExecBlocks(name string, progs map[int][]isa.Instr) Phase {
 		energy += costs[i].energy
 		e.InstrCount += costs[i].instrs
 	}
-	return Phase{Name: name, Kind: "blocks", Dur: maxDur, EnergyJ: energy}
+	if instrumented {
+		var perOp [isa.NumOpcodes]int64
+		blockEnergy := e.Obs.Histogram("sim.block.energy_joules")
+		for i := range costs {
+			blockEnergy.Observe(costs[i].energy)
+			for op, n := range opCounts[i] {
+				perOp[op] += n
+			}
+		}
+		for op, n := range perOp {
+			if n > 0 {
+				e.Obs.Counter("sim.instr." + isa.Opcode(op).String()).Add(n)
+			}
+		}
+		e.Obs.Counter("sim.pool.blocks").Add(int64(len(ids)))
+		if parallel {
+			e.Obs.Counter("sim.pool.parallel_execs").Inc()
+			e.Obs.Gauge("sim.pool.workers").Set(float64(workers))
+		} else {
+			e.Obs.Counter("sim.pool.serial_execs").Inc()
+		}
+	}
+	return Phase{Name: name, Kind: "blocks", Dur: maxDur, EnergyJ: energy}, nil
 }
 
 // execWorkers bounds the pool size by the work available.
@@ -315,6 +429,18 @@ func (e *Engine) ExecBlocksN(name string, prog []isa.Instr, n int, avgLUTHops in
 		}
 	}
 	e.InstrCount += int64(len(prog) * n)
+	if e.Obs != nil {
+		var perOp [isa.NumOpcodes]int64
+		for _, in := range prog {
+			perOp[in.Op]++
+		}
+		for op, c := range perOp {
+			if c > 0 {
+				e.Obs.Counter("sim.instr." + isa.Opcode(op).String()).Add(c * int64(n))
+			}
+		}
+		e.Obs.Counter("sim.pool.blocks").Add(int64(n))
+	}
 	return Phase{Name: name, Kind: "blocks", Dur: dur, EnergyJ: energy * float64(n)}
 }
 
@@ -398,8 +524,10 @@ func (e *Engine) ExecTransfers(name string, trs []RowTransfer) Phase {
 	perTile := make(map[int][]intercon.Transfer)
 	var cross []intercon.Transfer
 	var crossEndpoints float64
+	var obsWords int64
 	for _, tr := range trs {
 		e.TransferCt++
+		obsWords += int64(tr.Words)
 		st, dt := e.Chip.TileOf(tr.SrcBlock), e.Chip.TileOf(tr.DstBlock)
 		if st == dt {
 			perTile[st] = append(perTile[st], intercon.Transfer{
@@ -437,6 +565,10 @@ func (e *Engine) ExecTransfers(name string, trs []RowTransfer) Phase {
 	if len(trs) > 0 {
 		dur += params.BlockRowReadLatency + params.BlockRowWriteLatency
 		energy += float64(len(trs)) * (params.RowBufferReadEnergyJ + params.RowBufferWriteEnergyJ)
+	}
+	if e.Obs != nil {
+		e.Obs.Counter("sim.transfer.count").Add(int64(len(trs)))
+		e.Obs.Counter("sim.transfer.words").Add(obsWords)
 	}
 	return Phase{Name: name, Kind: "transfer", Dur: dur, EnergyJ: energy}
 }
@@ -497,6 +629,23 @@ func (e *Engine) Reset() {
 	e.InstrCount = 0
 	e.TransferCt = 0
 	e.DRAMBytes = 0
+	e.err = nil
+}
+
+// PublishTotals writes the engine's run-level aggregates into the attached
+// sink's registry (no-op without a sink). Run drivers call it once at the
+// end of a run.
+func (e *Engine) PublishTotals() {
+	if e.Obs == nil {
+		return
+	}
+	e.Obs.Gauge("sim.total_seconds").Set(e.TotalTime())
+	e.Obs.Gauge("sim.total_energy_joules").Set(e.TotalEnergy)
+	e.Obs.Gauge("sim.static_energy_joules").Set(e.StaticEnergy())
+	e.Obs.Gauge("sim.instr_count").Set(float64(e.InstrCount))
+	e.Obs.Gauge("sim.transfer_count").Set(float64(e.TransferCt))
+	e.Obs.Gauge("sim.dram_bytes").Set(float64(e.DRAMBytes))
+	e.Obs.Gauge("sim.workers").Set(float64(e.Workers))
 }
 
 // CheckClose is a test helper: true when a and b agree within rel.

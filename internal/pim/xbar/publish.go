@@ -1,0 +1,22 @@
+package xbar
+
+import "wavepim/internal/obs"
+
+// Publish adds the accumulated block activity into registry counters and
+// gauges (xbar.* namespace). Blocks accumulate Stats locally — the
+// functional execution path is too hot for shared atomics — and a run
+// driver publishes the chip-wide sum once per run (see
+// chip.TotalBlockStats). No-op against a nil registry.
+func (s Stats) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("xbar.row_reads").Add(s.RowReads)
+	reg.Counter("xbar.row_writes").Add(s.RowWrites)
+	reg.Counter("xbar.add_ops").Add(s.AddOps)
+	reg.Counter("xbar.mul_ops").Add(s.MulOps)
+	reg.Counter("xbar.copied_rows").Add(s.CopiedRows)
+	reg.Counter("xbar.nor_steps").Add(s.NORSteps)
+	reg.Gauge("xbar.busy_seconds").Add(s.BusySec)
+	reg.Gauge("xbar.energy_joules").Add(s.EnergyJ)
+}

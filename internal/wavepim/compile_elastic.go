@@ -6,6 +6,7 @@ import (
 	"wavepim/internal/dg"
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
+	"wavepim/internal/pim/chip"
 	"wavepim/internal/pim/isa"
 	"wavepim/internal/pim/sim"
 )
@@ -335,10 +336,22 @@ type FunctionalElastic struct {
 
 // NewFunctionalElastic builds the elastic functional system.
 func NewFunctionalElastic(m *mesh.Mesh, mat material.Elastic, flux dg.FluxType, dt float64) (*FunctionalElastic, error) {
+	cfg, err := chipFor(m.NumElem * 4)
+	if err != nil {
+		return nil, err
+	}
+	return newFunctionalElasticOn(cfg, m, mat, flux, dt)
+}
+
+// newFunctionalElasticOn is NewFunctionalElastic on a caller-chosen chip
+// configuration (the Session's WithChip path).
+func newFunctionalElasticOn(cfg chip.Config, m *mesh.Mesh, mat material.Elastic, flux dg.FluxType, dt float64) (*FunctionalElastic, error) {
 	if !m.Periodic {
 		return nil, fmt.Errorf("wavepim: functional runs require a periodic mesh")
 	}
-	cfg := chipFor(m.NumElem * 4)
+	if m.NumElem*4 > cfg.NumBlocks() {
+		return nil, fmt.Errorf("wavepim: %d elements need %d blocks, chip %s has %d", m.NumElem, m.NumElem*4, cfg.Name, cfg.NumBlocks())
+	}
 	ch, err := newChip(cfg)
 	if err != nil {
 		return nil, err

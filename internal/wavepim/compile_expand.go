@@ -130,7 +130,10 @@ func NewFunctionalAcousticExpanded(m *mesh.Mesh, mat material.Acoustic, flux dg.
 	if !m.Periodic {
 		return nil, fmt.Errorf("wavepim: functional runs require a periodic mesh")
 	}
-	chipCfg := chipFor(m.NumElem * 4)
+	chipCfg, err := chipFor(m.NumElem * 4)
+	if err != nil {
+		return nil, err
+	}
 	ch, err := newChip(chipCfg)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"wavepim/internal/dg"
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
+	"wavepim/internal/pim/chip"
 	"wavepim/internal/pim/isa"
 	"wavepim/internal/pim/sim"
 )
@@ -205,10 +206,22 @@ type FunctionalMaxwell struct {
 // NewFunctionalMaxwell builds the system (four-slot elements, two compute
 // blocks each).
 func NewFunctionalMaxwell(m *mesh.Mesh, mat material.Dielectric, flux dg.FluxType, dt float64) (*FunctionalMaxwell, error) {
+	cfg, err := chipFor(m.NumElem * 4)
+	if err != nil {
+		return nil, err
+	}
+	return newFunctionalMaxwellOn(cfg, m, mat, flux, dt)
+}
+
+// newFunctionalMaxwellOn is NewFunctionalMaxwell on a caller-chosen chip
+// configuration (the Session's WithChip path).
+func newFunctionalMaxwellOn(cfg chip.Config, m *mesh.Mesh, mat material.Dielectric, flux dg.FluxType, dt float64) (*FunctionalMaxwell, error) {
 	if !m.Periodic {
 		return nil, fmt.Errorf("wavepim: functional runs require a periodic mesh")
 	}
-	cfg := chipFor(m.NumElem * 4)
+	if m.NumElem*4 > cfg.NumBlocks() {
+		return nil, fmt.Errorf("wavepim: %d elements need %d blocks, chip %s has %d", m.NumElem, m.NumElem*4, cfg.Name, cfg.NumBlocks())
+	}
 	ch, err := newChip(cfg)
 	if err != nil {
 		return nil, err

@@ -14,13 +14,18 @@ import (
 
 // chipFor picks the smallest evaluation chip configuration with at least n
 // blocks (functional meshes are small, so this is almost always 512 MB).
-func chipFor(nBlocks int) chip.Config {
+// It errors when even the largest configuration is too small — callers
+// must not silently run on a chip that cannot hold the model.
+func chipFor(nBlocks int) (chip.Config, error) {
 	for _, cfg := range chip.AllConfigs() {
 		if cfg.NumBlocks() >= nBlocks {
-			return cfg
+			return cfg, nil
 		}
 	}
-	return chip.Config16GB()
+	largest := chip.AllConfigs()[len(chip.AllConfigs())-1]
+	return chip.Config{}, fmt.Errorf(
+		"wavepim: no chip configuration fits %d blocks (largest, %s, has %d); batch the model instead",
+		nBlocks, largest.Name, largest.NumBlocks())
 }
 
 // newChip wraps chip.New for the functional constructors.
@@ -60,10 +65,15 @@ type FunctionalAcoustic struct {
 // mesh must be periodic (every element has six neighbors, as in the
 // paper's benchmark meshes) and small enough to fit without batching.
 func NewFunctionalAcoustic(m *mesh.Mesh, mat material.Acoustic, flux dg.FluxType, dt float64) (*FunctionalAcoustic, error) {
+	return newFunctionalAcousticOn(chip.Config512MB(), m, mat, flux, dt)
+}
+
+// newFunctionalAcousticOn is NewFunctionalAcoustic on a caller-chosen chip
+// configuration (the Session's WithChip path).
+func newFunctionalAcousticOn(cfg chip.Config, m *mesh.Mesh, mat material.Acoustic, flux dg.FluxType, dt float64) (*FunctionalAcoustic, error) {
 	if !m.Periodic {
 		return nil, fmt.Errorf("wavepim: functional acoustic requires a periodic mesh")
 	}
-	cfg := chip.Config512MB()
 	if m.NumElem > cfg.NumBlocks() {
 		return nil, fmt.Errorf("wavepim: %d elements exceed the functional chip's %d blocks", m.NumElem, cfg.NumBlocks())
 	}

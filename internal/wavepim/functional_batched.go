@@ -47,7 +47,10 @@ func NewFunctionalAcousticBatched(m *mesh.Mesh, mat material.Acoustic, flux dg.F
 		return nil, fmt.Errorf("wavepim: %d slices not divisible by %d per batch", m.NumSlices(), slicesPerBatch)
 	}
 	elemsPB := m.EPerAxis * m.EPerAxis * slicesPerBatch
-	cfg := chipFor(elemsPB)
+	cfg, err := chipFor(elemsPB)
+	if err != nil {
+		return nil, err
+	}
 	ch, err := newChip(cfg)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"wavepim/internal/dg"
 	"wavepim/internal/dg/opcount"
 	"wavepim/internal/mesh"
+	"wavepim/internal/obs"
 	"wavepim/internal/params"
 	"wavepim/internal/pim/chip"
 	"wavepim/internal/pim/isa"
@@ -15,6 +16,11 @@ type Options struct {
 	TimeSteps int  // simulation length; 0 means the paper's 1024
 	Pipelined bool // apply the Section 6.3 pipeline (Figure 10)
 	Morton    bool // Morton element placement (versus row-major)
+	// Obs, when non-nil, receives the run's observability output: the
+	// Figure 13 stage-pipeline spans (mirroring Result.Timeline), the
+	// engine's instruction-class counters, and run-level gauges
+	// (run.* namespace). Nil disables instrumentation.
+	Obs *obs.Sink
 }
 
 // DefaultOptions returns the evaluation defaults.
@@ -114,10 +120,12 @@ func newRunner(plan Plan, opt Options) *runner {
 		panic(err)
 	}
 	np := opcount.Np
+	eng := sim.New(ch, false)
+	eng.Obs = opt.Obs
 	r := &runner{
 		plan: plan, opt: opt,
 		comp:   NewCompiler(plan, np, FluxFor(plan.Bench.Eq)),
-		eng:    sim.New(ch, false),
+		eng:    eng,
 		np:     np,
 		nn:     np * np * np,
 		ea:     1 << plan.Bench.Refinement,
@@ -529,7 +537,37 @@ func (r *runner) run() (Result, error) {
 		HostSec:          r.bd.HostSec * scale,
 	}
 	res.Timeline = r.tl
+	r.publish(res)
 	return res, nil
+}
+
+// publish exports the run's observability output: one span per Figure 13
+// stage-pipeline phase (identical to Result.Timeline, so a Chrome trace of
+// the run shows the Volume/Flux/Integration execution timeline) and
+// run-level gauges. No-op without a sink.
+func (r *runner) publish(res Result) {
+	sink := r.opt.Obs
+	if sink == nil {
+		return
+	}
+	for _, sp := range res.Timeline {
+		sink.Span(sp.Name, "stage", sp.Start, sp.Dur, 5)
+	}
+	reg := sink.Reg
+	reg.Gauge("run.stage_seconds").Set(res.StageSec)
+	reg.Gauge("run.step_seconds").Set(res.StepSec)
+	reg.Gauge("run.total_seconds").Set(res.TotalSec)
+	reg.Gauge("run.dynamic_joules").Set(res.DynamicJ)
+	reg.Gauge("run.static_joules").Set(res.StaticJ)
+	reg.Gauge("run.energy_joules").Set(res.EnergyJ)
+	reg.Gauge("run.instr_per_stage").Set(float64(res.InstrPerStage))
+	reg.Gauge("run.batches").Set(float64(r.plan.Batches))
+	reg.Gauge("run.breakdown.compute_seconds").Set(res.Breakdown.ComputeSec)
+	reg.Gauge("run.breakdown.intra_transfer_seconds").Set(res.Breakdown.IntraTransferSec)
+	reg.Gauge("run.breakdown.inter_transfer_seconds").Set(res.Breakdown.InterTransferSec)
+	reg.Gauge("run.breakdown.dram_seconds").Set(res.Breakdown.DRAMSec)
+	reg.Gauge("run.breakdown.host_seconds").Set(res.Breakdown.HostSec)
+	r.eng.PublishTotals()
 }
 
 // timeline lays out one batch-stage's Figure 13 pipeline spans.

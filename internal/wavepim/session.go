@@ -1,0 +1,263 @@
+package wavepim
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"wavepim/internal/dg"
+	"wavepim/internal/dg/opcount"
+	"wavepim/internal/material"
+	"wavepim/internal/mesh"
+	"wavepim/internal/obs"
+	"wavepim/internal/pim/chip"
+	"wavepim/internal/pim/sim"
+)
+
+// Session is the unified entry point to a functional Wave-PIM run. It owns
+// the chip, the execution engine, the compiled solver for one equation, and
+// the observability sink, replacing the NewFunctionalAcoustic /
+// NewFunctionalElastic / NewFunctionalMaxwell constructor sprawl:
+//
+//	s, err := wavepim.NewSession(
+//		wavepim.WithEquation(opcount.Acoustic),
+//		wavepim.WithMesh(mesh.New(1, 4, true)),
+//		wavepim.WithDt(1e-3),
+//		wavepim.WithObs(obs.NewSink()),
+//	)
+//	s.Acoustic().Load(q)
+//	err = s.Run(ctx, steps)
+//
+// The legacy constructors remain as thin wrappers over the same machinery.
+type Session struct {
+	cfg sessionConfig
+	eng *sim.Engine
+
+	// exactly one of these is non-nil, per cfg.eq
+	ac *FunctionalAcoustic
+	el *FunctionalElastic
+	mx *FunctionalMaxwell
+}
+
+type sessionConfig struct {
+	eq      opcount.Equation
+	mesh    *mesh.Mesh
+	flux    dg.FluxType
+	fluxSet bool
+	dt      float64
+	chip    *chip.Config
+	workers int
+	sink    *obs.Sink
+	acMat   material.Acoustic
+	elMat   material.Elastic
+	diel    material.Dielectric
+}
+
+// Option configures a Session (functional-options style).
+type Option func(*sessionConfig)
+
+// WithEquation selects the wave equation (default opcount.Acoustic). The
+// elastic flux variant is part of the equation: opcount.ElasticCentral
+// selects the central flux, every other equation defaults to Riemann
+// (override with WithFlux).
+func WithEquation(eq opcount.Equation) Option {
+	return func(c *sessionConfig) { c.eq = eq }
+}
+
+// WithMesh sets the periodic benchmark mesh. Required.
+func WithMesh(m *mesh.Mesh) Option {
+	return func(c *sessionConfig) { c.mesh = m }
+}
+
+// WithFlux overrides the flux solver implied by the equation.
+func WithFlux(f dg.FluxType) Option {
+	return func(c *sessionConfig) { c.flux = f; c.fluxSet = true }
+}
+
+// WithDt sets the time-step. Required (use the reference solver's
+// MaxStableDt to derive a CFL-stable value).
+func WithDt(dt float64) Option {
+	return func(c *sessionConfig) { c.dt = dt }
+}
+
+// WithChip pins the chip configuration instead of letting the session pick
+// the smallest one that fits the model. Construction fails if the model
+// does not fit the pinned chip.
+func WithChip(cfg chip.Config) Option {
+	return func(c *sessionConfig) { c.chip = &cfg }
+}
+
+// WithWorkers sets the engine's worker-pool size (default: one per core).
+// 1 forces serial block execution; results are bit-identical either way.
+func WithWorkers(n int) Option {
+	return func(c *sessionConfig) { c.workers = n }
+}
+
+// WithObs attaches an observability sink. The engine records per-phase
+// spans and metrics into it during Run, and Run's final publish adds the
+// chip-wide crossbar and engine totals. Without this option the session
+// runs fully uninstrumented (the nil-sink fast path).
+func WithObs(s *obs.Sink) Option {
+	return func(c *sessionConfig) { c.sink = s }
+}
+
+// WithAcousticMaterial sets the uniform acoustic material (default: the
+// benchmark water, kappa=2.25 rho=1).
+func WithAcousticMaterial(m material.Acoustic) Option {
+	return func(c *sessionConfig) { c.acMat = m }
+}
+
+// WithElasticMaterial sets the uniform elastic material (default: the
+// benchmark rock, lambda=2 mu=1 rho=1).
+func WithElasticMaterial(m material.Elastic) Option {
+	return func(c *sessionConfig) { c.elMat = m }
+}
+
+// WithDielectric sets the uniform dielectric (default: vacuum).
+func WithDielectric(m material.Dielectric) Option {
+	return func(c *sessionConfig) { c.diel = m }
+}
+
+// NewSession builds the chip, engine, and compiled solver for one equation.
+func NewSession(opts ...Option) (*Session, error) {
+	cfg := sessionConfig{
+		eq:    opcount.Acoustic,
+		acMat: material.Acoustic{Kappa: 2.25, Rho: 1},
+		elMat: material.Elastic{Lambda: 2, Mu: 1, Rho: 1},
+		diel:  material.Dielectric{Eps: 1, Mu: 1},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.mesh == nil {
+		return nil, fmt.Errorf("wavepim: NewSession requires WithMesh")
+	}
+	if cfg.dt <= 0 {
+		return nil, fmt.Errorf("wavepim: NewSession requires WithDt > 0")
+	}
+	if !cfg.fluxSet {
+		cfg.flux = FluxFor(cfg.eq)
+	}
+
+	s := &Session{cfg: cfg}
+	var err error
+	switch cfg.eq {
+	case opcount.Acoustic:
+		chipCfg := chip.Config512MB()
+		if cfg.chip != nil {
+			chipCfg = *cfg.chip
+		}
+		s.ac, err = newFunctionalAcousticOn(chipCfg, cfg.mesh, cfg.acMat, cfg.flux, cfg.dt)
+		if err == nil {
+			s.eng = s.ac.Engine
+		}
+	case opcount.ElasticCentral, opcount.ElasticRiemann:
+		chipCfg, cerr := sessionChip(cfg, cfg.mesh.NumElem*4)
+		if cerr != nil {
+			return nil, cerr
+		}
+		s.el, err = newFunctionalElasticOn(chipCfg, cfg.mesh, cfg.elMat, cfg.flux, cfg.dt)
+		if err == nil {
+			s.eng = s.el.Engine
+		}
+	case opcount.Maxwell:
+		chipCfg, cerr := sessionChip(cfg, cfg.mesh.NumElem*4)
+		if cerr != nil {
+			return nil, cerr
+		}
+		s.mx, err = newFunctionalMaxwellOn(chipCfg, cfg.mesh, cfg.diel, cfg.flux, cfg.dt)
+		if err == nil {
+			s.eng = s.mx.Engine
+		}
+	default:
+		return nil, fmt.Errorf("wavepim: unknown equation %v", cfg.eq)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.workers > 0 {
+		s.eng.Workers = cfg.workers
+	}
+	s.eng.Obs = cfg.sink
+	return s, nil
+}
+
+// sessionChip resolves the chip configuration: the pinned one, else the
+// smallest that fits nBlocks.
+func sessionChip(cfg sessionConfig, nBlocks int) (chip.Config, error) {
+	if cfg.chip != nil {
+		return *cfg.chip, nil
+	}
+	return chipFor(nBlocks)
+}
+
+// Engine exposes the underlying execution engine (clock, energy, stats).
+func (s *Session) Engine() *sim.Engine { return s.eng }
+
+// Obs returns the attached sink (nil when uninstrumented).
+func (s *Session) Obs() *obs.Sink { return s.cfg.sink }
+
+// Equation returns the equation the session was built for.
+func (s *Session) Equation() opcount.Equation { return s.cfg.eq }
+
+// Acoustic returns the compiled acoustic system, or nil if the session was
+// built for another equation. Use it to load initial state and read
+// results back.
+func (s *Session) Acoustic() *FunctionalAcoustic { return s.ac }
+
+// Elastic returns the compiled elastic system, or nil.
+func (s *Session) Elastic() *FunctionalElastic { return s.el }
+
+// Maxwell returns the compiled Maxwell system, or nil.
+func (s *Session) Maxwell() *FunctionalMaxwell { return s.mx }
+
+// Step executes one five-stage time-step.
+func (s *Session) Step() {
+	switch {
+	case s.ac != nil:
+		s.ac.Step()
+	case s.el != nil:
+		s.el.Step()
+	case s.mx != nil:
+		s.mx.Step()
+	}
+}
+
+// Run executes n time-steps under ctx. Cancellation is honored at block
+// granularity inside the engine's worker pool: the current batch stops,
+// the engine's clock stays consistent with the work actually committed,
+// and Run returns ctx.Err(). On a clean finish it publishes the engine
+// and chip totals to the attached sink.
+func (s *Session) Run(ctx context.Context, n int) error {
+	s.eng.SetContext(ctx)
+	defer s.eng.SetContext(nil)
+	for i := 0; i < n; i++ {
+		s.Step()
+		if err := s.eng.Err(); err != nil {
+			return err
+		}
+	}
+	s.Publish()
+	return nil
+}
+
+// Publish flushes run-level totals to the sink: engine gauges
+// (sim.total_seconds, energies, counts) and the chip-wide crossbar
+// counters (xbar.*, summing every block's locally accumulated Stats).
+// Call it after stepping manually via Step; Run does it for you. No-op
+// without a sink.
+func (s *Session) Publish() {
+	sink := s.cfg.sink
+	if sink == nil {
+		return
+	}
+	s.eng.PublishTotals()
+	s.eng.Chip.TotalBlockStats().Publish(sink.Reg)
+}
+
+// WriteTrace writes the engine's recorded phase spans as a Chrome
+// trace_event JSON document (chrome://tracing, Perfetto). No spans are
+// recorded without an attached sink.
+func (s *Session) WriteTrace(w io.Writer) error {
+	return s.cfg.sink.WriteTrace(w)
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# obs_overhead_guard.sh — CI gate for the observability layer's nil-sink
+# guarantee: the instrumented hot-path hooks, with no sink attached, must
+# cost no more than MAX_RATIO of the fully uninstrumented loop.
+#
+# Runs the BenchmarkNilSinkOverhead pair (internal/obs) COUNT times and
+# compares the *minimum* ns/op of each side — minima are the least noisy
+# statistic on shared CI runners.
+#
+# Usage: scripts/obs_overhead_guard.sh [count]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-6}"
+MAX_RATIO="${MAX_RATIO:-1.02}"
+
+OUT=$(go test -run '^$' -bench 'BenchmarkNilSinkOverhead' -count "$COUNT" \
+	-benchtime 1000000x ./internal/obs/)
+echo "$OUT"
+
+BENCH_OUT="$OUT" python3 - "$MAX_RATIO" <<'EOF'
+import os
+import sys
+
+max_ratio = float(sys.argv[1])
+mins = {}
+for line in os.environ["BENCH_OUT"].splitlines():
+    parts = line.split()
+    if len(parts) >= 4 and parts[0].startswith("BenchmarkNilSinkOverhead/"):
+        name = parts[0].split("/")[1].split("-")[0]
+        ns = float(parts[2])
+        mins[name] = min(ns, mins.get(name, float("inf")))
+
+missing = {"baseline", "nilsink"} - mins.keys()
+if missing:
+    sys.exit(f"benchmark output missing {sorted(missing)}")
+
+ratio = mins["nilsink"] / mins["baseline"]
+print(f"nil-sink overhead: baseline {mins['baseline']:.1f} ns/op, "
+      f"nilsink {mins['nilsink']:.1f} ns/op, ratio {ratio:.4f} "
+      f"(limit {max_ratio})")
+if ratio > max_ratio:
+    sys.exit("FAIL: nil-sink instrumentation overhead exceeds the limit")
+print("PASS")
+EOF
