@@ -10,9 +10,17 @@
 // crossbar cells and verifies the result against the reference dG solver:
 //
 //	wavepim -functional -refine 1 -np 4 -steps 3
+//
+// Functional mode can also inject deterministic hardware faults and heal
+// through the recovery ladder (ECC scrub, verify-retry, spare-block remap,
+// checkpointed rollback), printing a reproducible fault report:
+//
+//	wavepim -functional -faults seed=7,flip=1e-7,stuck=1e-6 -faultreport report.json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -24,6 +32,7 @@ import (
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
 	"wavepim/internal/pim/chip"
+	"wavepim/internal/pim/fault"
 	"wavepim/internal/pim/isa"
 	"wavepim/internal/report"
 	"wavepim/internal/wavepim"
@@ -39,6 +48,9 @@ func main() {
 	refine := flag.Int("refine", 1, "functional: refinement level")
 	np := flag.Int("np", 4, "functional: GLL nodes per axis")
 	fnSteps := flag.Int("fsteps", 3, "functional: time steps")
+	faultSpec := flag.String("faults", "", "functional: inject faults, e.g. seed=7,flip=1e-7,stuck=1e-6,wear=100000")
+	recoverSpec := flag.String("recover", "", "functional: recovery policy, e.g. ecc=1,retries=2,spares=4,ckpt=8,rollbacks=2,blowup=1e3")
+	faultReport := flag.String("faultreport", "", "functional: write the JSON fault report (plus timeline digest) to this file")
 	disasm := flag.String("disasm", "", "disassemble a compiled kernel: volume, flux, integration")
 	flag.Parse()
 
@@ -47,7 +59,7 @@ func main() {
 		return
 	}
 	if *functional {
-		runFunctional(*refine, *np, *fnSteps)
+		runFunctional(*refine, *np, *fnSteps, *faultSpec, *recoverSpec, *faultReport)
 		return
 	}
 
@@ -143,7 +155,7 @@ func parseBench(s string) (opcount.Benchmark, bool) {
 	return opcount.Benchmark{}, false
 }
 
-func runFunctional(refine, np, steps int) {
+func runFunctional(refine, np, steps int, faultSpec, recoverSpec, reportPath string) {
 	m := mesh.New(refine, np, true)
 	mat := material.Acoustic{Kappa: 2.25, Rho: 1.0}
 	fmt.Printf("functional PIM run: %d elements x %d nodes, %d steps, Riemann flux\n",
@@ -156,26 +168,106 @@ func runFunctional(refine, np, steps int) {
 	dg.PlaneWaveX(m, mat, 1, q)
 	qPim := q.Copy()
 
-	fa, err := wavepim.NewFunctionalAcoustic(m, mat, dg.RiemannFlux, dt)
+	opts := []wavepim.Option{
+		wavepim.WithMesh(m),
+		wavepim.WithAcousticMaterial(mat),
+		wavepim.WithDt(dt),
+	}
+	faulted := faultSpec != "" || recoverSpec != ""
+	if faultSpec != "" {
+		fcfg, err := fault.ParseSpec(faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-faults: %v\n", err)
+			os.Exit(2)
+		}
+		opts = append(opts, wavepim.WithFaults(fcfg))
+	}
+	if recoverSpec != "" {
+		rec, err := fault.ParseRecoverySpec(recoverSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-recover: %v\n", err)
+			os.Exit(2)
+		}
+		opts = append(opts, wavepim.WithRecovery(rec))
+	}
+	s, err := wavepim.NewSession(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fa.Load(qPim)
+	s.Acoustic().Load(qPim)
 	it.Run(q, 0, dt, steps)
-	fa.Run(steps)
-	got := dg.NewAcousticState(m)
-	fa.ReadState(got)
+	runErr := s.Run(context.Background(), steps)
+	eng := s.Engine()
 
-	var worst float64
-	for i := range q.P {
-		if d := math.Abs(q.P[i] - got.P[i]); d > worst {
-			worst = d
+	if runErr == nil {
+		got := dg.NewAcousticState(m)
+		s.Acoustic().ReadState(got)
+		var worst float64
+		for i := range q.P {
+			if d := math.Abs(q.P[i] - got.P[i]); d > worst {
+				worst = d
+			}
+		}
+		note := "float32 vs float64 round-off"
+		if faulted {
+			note = "includes healed-fault residue"
+		}
+		fmt.Printf("  max |PIM - reference| pressure deviation: %.3e (%s)\n", worst, note)
+	}
+	fmt.Printf("  simulated PIM time: %s   dynamic energy: %s\n",
+		report.Seconds(eng.TotalTime()), report.Joules(eng.TotalEnergy))
+	fmt.Printf("  instructions executed: %d   inter-block transfers: %d\n",
+		eng.InstrCount, eng.TransferCt)
+	if faulted {
+		fmt.Printf("  %s\n", s.FaultReport())
+		fmt.Printf("  timeline digest: %016x\n", eng.TimelineDigest())
+	}
+	if reportPath != "" {
+		if err := writeFaultReport(reportPath, s, runErr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
-	fmt.Printf("  max |PIM - reference| pressure deviation: %.3e (float32 vs float64 round-off)\n", worst)
-	fmt.Printf("  simulated PIM time: %s   dynamic energy: %s\n",
-		report.Seconds(fa.Engine.TotalTime()), report.Joules(fa.Engine.TotalEnergy))
-	fmt.Printf("  instructions executed: %d   inter-block transfers: %d\n",
-		fa.Engine.InstrCount, fa.Engine.TransferCt)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
+		os.Exit(1)
+	}
+}
+
+// writeFaultReport writes the deterministic run artifact the reproducibility
+// guard diffs byte-for-byte: the fault report plus the engine totals and the
+// timeline digest. Field order is fixed by the struct.
+func writeFaultReport(path string, s *wavepim.Session, runErr error) error {
+	eng := s.Engine()
+	art := struct {
+		Report         fault.Report `json:"report"`
+		SimSeconds     float64      `json:"sim_seconds"`
+		DynamicJ       float64      `json:"dynamic_energy_joules"`
+		Instructions   int64        `json:"instructions"`
+		Transfers      int64        `json:"transfers"`
+		TimelineDigest string       `json:"timeline_digest"`
+		Error          string       `json:"error,omitempty"`
+	}{
+		Report:         s.FaultReport(),
+		SimSeconds:     eng.TotalTime(),
+		DynamicJ:       eng.TotalEnergy,
+		Instructions:   int64(eng.InstrCount),
+		Transfers:      int64(eng.TransferCt),
+		TimelineDigest: fmt.Sprintf("%016x", eng.TimelineDigest()),
+	}
+	if runErr != nil {
+		art.Error = runErr.Error()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		return err
+	}
+	return f.Close()
 }

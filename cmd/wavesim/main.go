@@ -38,6 +38,8 @@ func main() {
 	cfl := flag.Float64("cfl", 0.3, "CFL number")
 	tracePath := flag.String("trace", "", "write a Chrome trace of the PIM stage pipeline to this file")
 	metricsPath := flag.String("metrics", "", "write the metrics registry snapshot (JSON) to this file")
+	guard := flag.Int("guard", 0, "check solver health (finiteness, norm blow-up) every N steps; 0 disables (acoustic/elastic)")
+	blowup := flag.Float64("blowup", 1e3, "health guard: allowed squared-norm growth factor over the initial state")
 	flag.Parse()
 
 	var sink *obs.Sink
@@ -70,7 +72,17 @@ func main() {
 		it := dg.NewAcousticIntegrator(s)
 		dt := s.MaxStableDt(*cfl)
 		e0 := s.Energy(q)
-		tEnd := it.Run(q, 0, dt, *steps)
+		var tEnd float64
+		if *guard > 0 {
+			var gerr error
+			tEnd, gerr = it.RunGuarded(q, 0, dt, *steps, *guard, *blowup)
+			if gerr != nil {
+				fmt.Fprintf(os.Stderr, "health guard: %v\n", gerr)
+				os.Exit(1)
+			}
+		} else {
+			tEnd = it.Run(q, 0, dt, *steps)
+		}
 		e1 := s.Energy(q)
 		var worst float64
 		for e := 0; e < m.NumElem; e++ {
@@ -94,7 +106,17 @@ func main() {
 		it := dg.NewElasticIntegrator(s)
 		dt := s.MaxStableDt(*cfl)
 		e0 := s.Energy(q)
-		tEnd := it.Run(q, 0, dt, *steps)
+		var tEnd float64
+		if *guard > 0 {
+			var gerr error
+			tEnd, gerr = it.RunGuarded(q, 0, dt, *steps, *guard, *blowup)
+			if gerr != nil {
+				fmt.Fprintf(os.Stderr, "health guard: %v\n", gerr)
+				os.Exit(1)
+			}
+		} else {
+			tEnd = it.Run(q, 0, dt, *steps)
+		}
 		e1 := s.Energy(q)
 		var worst float64
 		for e := 0; e < m.NumElem; e++ {
@@ -111,6 +133,10 @@ func main() {
 		fmt.Printf("  P-wave max error: %.3e\n", worst)
 		fmt.Printf("  energy drift: %.3e (E0=%.6f E1=%.6f)\n", math.Abs(e1-e0)/e0, e0, e1)
 	case "maxwell":
+		if *guard > 0 {
+			fmt.Fprintln(os.Stderr, "-guard is not supported for maxwell (no guarded integrator)")
+			os.Exit(2)
+		}
 		mat := material.Dielectric{Eps: 2.25, Mu: 1}
 		s := dg.NewMaxwellSolver(m, mat, flux)
 		s.Obs = sink

@@ -1,5 +1,10 @@
 package dg
 
+import (
+	"fmt"
+	"math"
+)
+
 // The temporal integration scheme. The paper states "There are five
 // integration steps in each time-step" (Section 2.2) and that Integration
 // "operates on (volume and flux) contributions to update the variables, and
@@ -126,4 +131,123 @@ func (it *ElasticIntegrator) Run(q *ElasticState, t0, dt float64, steps int) flo
 		t += dt
 	}
 	return t
+}
+
+// ---------------------------------------------------------------------------
+// Solver health guards (the top rung of the fault-recovery ladder)
+// ---------------------------------------------------------------------------
+
+// Slices returns every variable array of the state (for health checks and
+// norm computations).
+func (s *AcousticState) Slices() [][]float64 {
+	return [][]float64{s.P, s.V[0], s.V[1], s.V[2]}
+}
+
+// Slices returns every variable array of the state.
+func (s *ElasticState) Slices() [][]float64 {
+	out := make([][]float64, 0, NumStress+3)
+	for c := range s.S {
+		out = append(out, s.S[c])
+	}
+	for d := range s.V {
+		out = append(out, s.V[d])
+	}
+	return out
+}
+
+// Slices returns every variable array of the state.
+func (s *MaxwellState) Slices() [][]float64 {
+	return [][]float64{s.E[0], s.E[1], s.E[2], s.H[0], s.H[1], s.H[2]}
+}
+
+// CheckFinite reports whether every value in every slice is finite.
+func CheckFinite(xs ...[]float64) bool {
+	for _, x := range xs {
+		for _, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NormSq returns the summed squared l2 norm of the slices.
+func NormSq(xs ...[]float64) float64 {
+	var s float64
+	for _, x := range xs {
+		for _, v := range x {
+			s += v * v
+		}
+	}
+	return s
+}
+
+// HealthError reports a solver blow-up detected by a health guard: a
+// non-finite value or squared-norm growth beyond the allowed factor.
+type HealthError struct {
+	Step   int     // time-step at which the check failed
+	NormSq float64 // squared field norm at the check (NaN if non-finite)
+	Reason string  // "non-finite" or "norm blow-up"
+}
+
+func (e *HealthError) Error() string {
+	return fmt.Sprintf("dg: solver unhealthy at step %d: %s (|q|^2=%g)", e.Step, e.Reason, e.NormSq)
+}
+
+// CheckHealth evaluates the guard on a set of variable slices against a
+// reference squared norm: nil when healthy, a *HealthError otherwise.
+// factor <= 0 disables the norm-growth check (finiteness is always
+// checked).
+func CheckHealth(step int, refNormSq, factor float64, xs ...[]float64) error {
+	if !CheckFinite(xs...) {
+		return &HealthError{Step: step, NormSq: math.NaN(), Reason: "non-finite"}
+	}
+	n := NormSq(xs...)
+	if factor > 0 && refNormSq > 0 && n > factor*refNormSq {
+		return &HealthError{Step: step, NormSq: n, Reason: "norm blow-up"}
+	}
+	return nil
+}
+
+// RunGuarded advances q like Run, checking solver health every checkEvery
+// steps (and at the end). On the first failed check it stops and returns
+// the error along with the time reached; the reference norm is the state's
+// norm at entry. This is the plain-solver counterpart of the Session-level
+// checkpoint/rollback ladder (which can also rewind, not just stop).
+func (it *AcousticIntegrator) RunGuarded(q *AcousticState, t0, dt float64, steps, checkEvery int, factor float64) (float64, error) {
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	ref := NormSq(q.Slices()...)
+	t := t0
+	for i := 0; i < steps; i++ {
+		it.Step(q, t, dt)
+		t += dt
+		if (i+1)%checkEvery == 0 || i == steps-1 {
+			if err := CheckHealth(i+1, ref, factor, q.Slices()...); err != nil {
+				return t, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// RunGuarded is the elastic counterpart of AcousticIntegrator.RunGuarded.
+func (it *ElasticIntegrator) RunGuarded(q *ElasticState, t0, dt float64, steps, checkEvery int, factor float64) (float64, error) {
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	ref := NormSq(q.Slices()...)
+	t := t0
+	for i := 0; i < steps; i++ {
+		it.Step(q, t, dt)
+		t += dt
+		if (i+1)%checkEvery == 0 || i == steps-1 {
+			if err := CheckHealth(i+1, ref, factor, q.Slices()...); err != nil {
+				return t, err
+			}
+		}
+	}
+	return t, nil
 }

@@ -8,7 +8,9 @@ package chip
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"wavepim/internal/params"
 	"wavepim/internal/pim/intercon"
@@ -144,6 +146,19 @@ type Chip struct {
 	mu     sync.RWMutex
 	blocks map[int]*xbar.Block
 	topos  []intercon.Topology // one per tile
+
+	// remap is the logical->physical indirection installed by
+	// spare-block remapping: after a block fails uncorrectably, its
+	// logical id resolves to a reserved spare. hasRemap keeps the
+	// common no-remap case a single atomic load on the hot addressing
+	// paths (TileOf is called per routed transfer).
+	remap    map[int]int
+	hasRemap atomic.Bool
+
+	// hook, when set, runs on every newly materialized block while the
+	// chip lock is held (the fault layer uses it to attach per-block
+	// fault state race-free).
+	hook func(*xbar.Block)
 }
 
 // New instantiates a chip.
@@ -164,11 +179,13 @@ func New(c Config) (*Chip, error) {
 	return ch, nil
 }
 
-// Block returns block id, allocating it on first use.
+// Block returns the block a logical id resolves to (through any remap),
+// allocating it on first use.
 func (ch *Chip) Block(id int) *xbar.Block {
 	if id < 0 || id >= ch.Config.NumBlocks() {
 		panic(fmt.Sprintf("chip: block %d out of range [0,%d)", id, ch.Config.NumBlocks()))
 	}
+	id = ch.Physical(id)
 	ch.mu.RLock()
 	b, ok := ch.blocks[id]
 	ch.mu.RUnlock()
@@ -181,15 +198,60 @@ func (ch *Chip) Block(id int) *xbar.Block {
 		return b
 	}
 	b = xbar.New(id)
+	if ch.hook != nil {
+		ch.hook(b)
+	}
 	ch.blocks[id] = b
 	return b
 }
 
-// TileOf returns the tile index of a block.
-func (ch *Chip) TileOf(blockID int) int { return blockID / params.BlocksPerTile }
+// Physical resolves a logical block id through the remap table.
+func (ch *Chip) Physical(id int) int {
+	if !ch.hasRemap.Load() {
+		return id
+	}
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	if p, ok := ch.remap[id]; ok {
+		return p
+	}
+	return id
+}
+
+// SetRemap redirects a logical block id to a physical spare. Subsequent
+// Block/TileOf/LocalID calls on the logical id resolve to the spare.
+func (ch *Chip) SetRemap(logical, physical int) {
+	n := ch.Config.NumBlocks()
+	if logical < 0 || logical >= n || physical < 0 || physical >= n {
+		panic(fmt.Sprintf("chip: remap %d->%d out of range [0,%d)", logical, physical, n))
+	}
+	ch.mu.Lock()
+	if ch.remap == nil {
+		ch.remap = make(map[int]int)
+	}
+	ch.remap[logical] = physical
+	ch.mu.Unlock()
+	ch.hasRemap.Store(true)
+}
+
+// SetBlockHook installs a callback run on every newly materialized block
+// (and immediately on already-materialized ones) under the chip lock.
+func (ch *Chip) SetBlockHook(h func(*xbar.Block)) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.hook = h
+	if h != nil {
+		for _, b := range ch.blocks {
+			h(b)
+		}
+	}
+}
+
+// TileOf returns the tile index of a (logical) block.
+func (ch *Chip) TileOf(blockID int) int { return ch.Physical(blockID) / params.BlocksPerTile }
 
 // LocalID returns a block's index within its tile.
-func (ch *Chip) LocalID(blockID int) int { return blockID % params.BlocksPerTile }
+func (ch *Chip) LocalID(blockID int) int { return ch.Physical(blockID) % params.BlocksPerTile }
 
 // Topology returns the interconnect of a tile.
 func (ch *Chip) Topology(tile int) intercon.Topology { return ch.topos[tile] }
@@ -201,13 +263,20 @@ func (ch *Chip) AllocatedBlocks() int {
 	return len(ch.blocks)
 }
 
-// TotalBlockStats sums the stats of all materialized blocks.
+// TotalBlockStats sums the stats of all materialized blocks. Blocks are
+// visited in sorted id order so the float accumulations (BusySec, EnergyJ)
+// are reproducible run-to-run — map order must never leak into results.
 func (ch *Chip) TotalBlockStats() xbar.Stats {
 	ch.mu.RLock()
 	defer ch.mu.RUnlock()
+	ids := make([]int, 0, len(ch.blocks))
+	for id := range ch.blocks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var s xbar.Stats
-	for _, b := range ch.blocks {
-		s.Add(b.Stats)
+	for _, id := range ids {
+		s.Add(ch.blocks[id].Stats)
 	}
 	return s
 }

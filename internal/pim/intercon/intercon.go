@@ -249,3 +249,24 @@ func ScheduleBatch(topo Topology, batch []Transfer) Schedule {
 	}
 	return out
 }
+
+// FilterMasked partitions a batch for a topology with masked-off (failed
+// or retired) leaves: transfers whose endpoints are all healthy are
+// routable; transfers touching a masked leaf — or a leaf outside the
+// topology — are returned separately so the caller can remap them instead
+// of panicking inside Path. This is the route-around primitive of
+// spare-block remapping: a retired physical block disappears from the
+// schedulable set, and the cost models only ever see healthy endpoints.
+func FilterMasked(t Topology, batch []Transfer, masked map[int]bool) (routable, rejected []Transfer) {
+	n := t.Leaves()
+	for _, tr := range batch {
+		bad := tr.Src < 0 || tr.Src >= n || tr.Dst < 0 || tr.Dst >= n ||
+			masked[tr.Src] || masked[tr.Dst]
+		if bad {
+			rejected = append(rejected, tr)
+		} else {
+			routable = append(routable, tr)
+		}
+	}
+	return routable, rejected
+}

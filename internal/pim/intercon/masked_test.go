@@ -1,0 +1,91 @@
+package intercon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randMask masks off a random subset of the 64 leaves (possibly none,
+// possibly many — partial failure of a tile).
+func randMask(r *rand.Rand) map[int]bool {
+	masked := make(map[int]bool)
+	for n := r.Intn(16); n > 0; n-- {
+		masked[r.Intn(64)] = true
+	}
+	return masked
+}
+
+// Property: FilterMasked partitions exactly (no transfer lost or
+// duplicated), rejected transfers are precisely the ones touching a masked
+// or out-of-range leaf, and the routable remainder schedules without
+// panicking on both topologies.
+func TestFilterMaskedPartitionAndSchedule(t *testing.T) {
+	topos := []Topology{NewHTree(64, 4), NewBus(64)}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		batch := randBatch(r, 1+r.Intn(24))
+		// Corrupt a few endpoints out of range, as a remap gone wrong would.
+		for i := range batch {
+			if r.Intn(8) == 0 {
+				batch[i].Dst = 64 + r.Intn(16)
+			}
+			if r.Intn(16) == 0 {
+				batch[i].Src = -1 - r.Intn(4)
+			}
+		}
+		masked := randMask(r)
+		for _, topo := range topos {
+			routable, rejected := FilterMasked(topo, batch, masked)
+			if len(routable)+len(rejected) != len(batch) {
+				return false
+			}
+			for _, tr := range routable {
+				if tr.Src < 0 || tr.Src >= 64 || tr.Dst < 0 || tr.Dst >= 64 ||
+					masked[tr.Src] || masked[tr.Dst] {
+					return false
+				}
+			}
+			for _, tr := range rejected {
+				ok := tr.Src >= 0 && tr.Src < 64 && tr.Dst >= 0 && tr.Dst < 64 &&
+					!masked[tr.Src] && !masked[tr.Dst]
+				if ok {
+					return false // a healthy transfer was rejected
+				}
+			}
+			// The surviving set must be schedulable — this is what protects
+			// the engine from routing through a retired block.
+			s := ScheduleBatch(topo, routable)
+			if len(routable) > 0 && s.Makespan < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with nothing masked and all endpoints valid, FilterMasked is
+// the identity on the batch.
+func TestFilterMaskedIdentityWhenHealthy(t *testing.T) {
+	topo := NewHTree(64, 4)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		batch := randBatch(r, 1+r.Intn(24))
+		routable, rejected := FilterMasked(topo, batch, nil)
+		if len(rejected) != 0 || len(routable) != len(batch) {
+			return false
+		}
+		for i := range batch {
+			if routable[i] != batch[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"wavepim/internal/obs"
 	"wavepim/internal/params"
 	"wavepim/internal/pim/chip"
+	"wavepim/internal/pim/fault"
 	"wavepim/internal/pim/intercon"
 	"wavepim/internal/pim/isa"
 	"wavepim/internal/pim/xbar"
@@ -67,6 +68,20 @@ type Engine struct {
 	// energies, worker-pool occupancy). Nil disables all instrumentation;
 	// the nil path is the uninstrumented hot path.
 	Obs *obs.Sink
+
+	// Faults, when non-nil, enables the fault-injection recovery ladder
+	// in functional mode: after every block phase the engine scrubs
+	// (ECC), verify-retries failing programs, and remaps blocks that
+	// stay uncorrectable onto SparePool. Nil is the golden path.
+	Faults *fault.Injector
+	// SparePool lists reserved physical block ids, consumed in order by
+	// spare-block remapping.
+	SparePool  []int
+	sparesUsed int
+	// pendingFault queues the ECC/retry/remap phases produced inside a
+	// block phase; Sequence/Parallel drain it right after the triggering
+	// phase commits, so recovery costs land on the simulated timeline.
+	pendingFault []Phase
 
 	Timeline    []Phase
 	TotalEnergy float64
@@ -130,8 +145,10 @@ func trackOf(kind string) int {
 		return 2
 	case "host":
 		return 3
+	case "fault":
+		return 4
 	}
-	return 4
+	return 5
 }
 
 // commit appends a phase at the given start and advances the clock to at
@@ -155,7 +172,11 @@ func (e *Engine) commit(p Phase, start float64) Phase {
 }
 
 // Sequence lays a phase at the current clock.
-func (e *Engine) Sequence(p Phase) Phase { return e.commit(p, e.clock) }
+func (e *Engine) Sequence(p Phase) Phase {
+	out := e.commit(p, e.clock)
+	e.drainFaultPhases()
+	return out
+}
 
 // Parallel lays several phases at the same start time (the pipelining of
 // Section 6.3: flux data fetch, host preprocessing and Volume compute
@@ -166,7 +187,20 @@ func (e *Engine) Parallel(ps ...Phase) []Phase {
 	for _, p := range ps {
 		out = append(out, e.commit(p, start))
 	}
+	e.drainFaultPhases()
 	return out
+}
+
+// drainFaultPhases commits the recovery phases queued by the last block
+// phase, sequentially after it (the ladder runs after the compute).
+func (e *Engine) drainFaultPhases() {
+	for len(e.pendingFault) > 0 {
+		pf := e.pendingFault
+		e.pendingFault = nil
+		for _, p := range pf {
+			e.commit(p, e.clock)
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -254,6 +288,15 @@ func (e *Engine) ExecBlocksCtx(ctx context.Context, name string, progs map[int][
 	type blockCost struct {
 		dur, energy float64
 		instrs      int64
+
+		// Recovery-ladder accounting (only written when the ladder is
+		// active): scrub and retry costs are kept out of dur/energy so
+		// the block phase stays nominal and the overhead lands on
+		// dedicated sim.fault.* phases.
+		scrubSec, scrubJ float64
+		retrySec, retryJ float64
+		detected, corrected, uncorrectable, retries int64
+		failed bool
 	}
 	costs := make([]blockCost, len(ids))
 	instrumented := e.Obs != nil
@@ -261,26 +304,84 @@ func (e *Engine) ExecBlocksCtx(ctx context.Context, name string, progs map[int][
 	if instrumented {
 		opCounts = make([][isa.NumOpcodes]int64, len(ids))
 	}
+	// The ladder runs when the engine executes real data under an
+	// injector whose recovery policy enables ECC scrubbing.
+	ladder := e.Functional && e.Faults != nil && e.Faults.Recovery().ECC
+	maxRetries := 0
+	if ladder {
+		maxRetries = e.Faults.Recovery().MaxRetries
+	}
 	runBlock := func(i int) {
 		blockID := ids[i]
 		c := &costs[i]
-		for _, in := range progs[blockID] {
-			sec, j := InstrCost(in)
-			c.dur += sec
-			c.energy += j
-			c.instrs++
-			if instrumented {
-				opCounts[i][in.Op]++
+		prog := progs[blockID]
+		exec := func(durp, enp *float64) {
+			for _, in := range prog {
+				sec, j := InstrCost(in)
+				*durp += sec
+				*enp += j
+				c.instrs++
+				if instrumented {
+					opCounts[i][in.Op]++
+				}
+				if in.Op == isa.OpLUT {
+					// Transit of the fetched word from the LUT block.
+					tsec, tj := e.transferCost(in.LUTBlock, blockID, 1)
+					*durp += tsec
+					*enp += tj
+				}
+				if e.Functional {
+					e.execInstr(blockID, in)
+				}
 			}
-			if in.Op == isa.OpLUT {
-				// Transit of the fetched word from the LUT block.
-				tsec, tj := e.transferCost(in.LUTBlock, blockID, 1)
-				c.dur += tsec
-				c.energy += tj
+		}
+		if !ladder {
+			exec(&c.dur, &c.energy)
+			return
+		}
+		// Recovery ladder: scrub after the program; on uncorrectable
+		// errors, rewind and re-execute (verify-retry) up to the budget.
+		// Retry is only sound for self-contained programs — a program
+		// touching foreign blocks cannot be rewound locally.
+		blk := e.Chip.Block(blockID)
+		retriable := progRetriable(blockID, prog)
+		var cellSnap []uint32
+		var pendSnap map[uint32]uint32
+		if retriable && blk.Faults != nil {
+			cellSnap = blk.Snapshot()
+			pendSnap = blk.Faults.SnapshotPending()
+		} else {
+			retriable = false
+		}
+		exec(&c.dur, &c.energy)
+		for attempt := 0; ; attempt++ {
+			res := blk.Scrub()
+			sec, j := fault.ScrubCost(int(res.Corrected))
+			if attempt == 0 {
+				c.scrubSec += sec
+				c.scrubJ += j
+			} else {
+				c.retrySec += sec
+				c.retryJ += j
 			}
-			if e.Functional {
-				e.execInstr(blockID, in)
+			c.detected += res.Detected
+			c.corrected += res.Corrected
+			if res.Uncorrectable == 0 {
+				return
 			}
+			if !retriable || attempt >= maxRetries {
+				c.uncorrectable += res.Uncorrectable
+				c.failed = true
+				return
+			}
+			c.retries++
+			blk.Faults.AddRetry()
+			bsec, bj := fault.BackoffCost(attempt + 1)
+			c.retrySec += bsec
+			c.retryJ += bj
+			blk.Restore(cellSnap)
+			blk.Faults.RestorePending(pendSnap)
+			exec(&c.retrySec, &c.retryJ)
 		}
 	}
 
@@ -328,6 +429,58 @@ func (e *Engine) ExecBlocksCtx(ctx context.Context, name string, progs map[int][
 		}
 		energy += costs[i].energy
 		e.InstrCount += costs[i].instrs
+	}
+	if ladder {
+		// Merge the ladder accounting in ascending block order (same
+		// determinism discipline as the main cost merge) and queue the
+		// recovery phases for the commit that follows this one.
+		var scrubMax, scrubJ, retryMax, retryJ float64
+		var detected, corrected, uncorrectable, retries int64
+		var failed []int
+		for i := range costs {
+			c := &costs[i]
+			if c.scrubSec > scrubMax {
+				scrubMax = c.scrubSec
+			}
+			scrubJ += c.scrubJ
+			if c.retrySec > retryMax {
+				retryMax = c.retrySec
+			}
+			retryJ += c.retryJ
+			detected += c.detected
+			corrected += c.corrected
+			uncorrectable += c.uncorrectable
+			retries += c.retries
+			if c.failed {
+				failed = append(failed, ids[i])
+			}
+		}
+		if scrubMax > 0 {
+			e.pendingFault = append(e.pendingFault,
+				Phase{Name: "sim.fault.ecc", Kind: "fault", Dur: scrubMax, EnergyJ: scrubJ})
+		}
+		if retryMax > 0 {
+			e.pendingFault = append(e.pendingFault,
+				Phase{Name: "sim.fault.retry", Kind: "fault", Dur: retryMax, EnergyJ: retryJ})
+		}
+		if instrumented {
+			for _, c := range []struct {
+				name string
+				n    int64
+			}{
+				{"sim.fault.detected", detected},
+				{"sim.fault.corrected", corrected},
+				{"sim.fault.uncorrectable", uncorrectable},
+				{"sim.fault.retries", retries},
+			} {
+				if c.n > 0 {
+					e.Obs.Counter(c.name).Add(c.n)
+				}
+			}
+		}
+		if len(failed) > 0 {
+			e.remapFailed(failed)
+		}
 	}
 	if instrumented {
 		var perOp [isa.NumOpcodes]int64
@@ -386,6 +539,76 @@ func blocksIndependent(progs map[int][]isa.Instr) bool {
 		}
 	}
 	return true
+}
+
+// progRetriable reports whether a block program can be verify-retried: it
+// must touch no foreign mutable state (LUT reads are fine — LUT blocks are
+// static within a phase), so a cell Snapshot of this one block captures
+// everything the replay needs.
+func progRetriable(blockID int, prog []isa.Instr) bool {
+	for _, in := range prog {
+		switch in.Op {
+		case isa.OpMemcpy:
+			return false
+		case isa.OpRead, isa.OpWrite:
+			if in.Block != blockID {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// remapFailed migrates blocks that stayed uncorrectable after the retry
+// budget onto spare blocks: the spare receives an ECC-corrected copy of
+// every word, the chip's logical->physical table redirects the id, and the
+// migration cost (full-array read + routed transfer + write) is queued as
+// a sim.fault.remap phase. Spare exhaustion latches fault.ErrNoSpares.
+func (e *Engine) remapFailed(failed []int) {
+	for _, logical := range failed {
+		if e.sparesUsed >= len(e.SparePool) {
+			if e.err == nil {
+				e.err = fmt.Errorf("sim: block %d uncorrectable after retries: %w", logical, fault.ErrNoSpares)
+			}
+			return
+		}
+		spare := e.SparePool[e.sparesUsed]
+		e.sparesUsed++
+		oldPhys := e.Chip.Physical(logical)
+		old := e.Chip.Block(logical)
+		sb := e.Chip.Block(spare)
+		for r := 0; r < xbar.Rows; r++ {
+			for o := 0; o < xbar.WordsPerRow; o++ {
+				sb.SetWord(r, o, old.CorrectedWord(r, o))
+			}
+		}
+		if old.Faults != nil {
+			old.Faults.ClearPending()
+		}
+		tsec, tj := e.transferCost(oldPhys, spare, xbar.Rows*xbar.WordsPerRow)
+		sec := float64(xbar.Rows)*(params.BlockRowReadLatency+params.BlockRowWriteLatency) + tsec
+		joules := float64(xbar.Rows)*(params.RowBufferReadEnergyJ+params.RowBufferWriteEnergyJ) + tj
+		e.Chip.SetRemap(logical, spare)
+		e.Faults.NoteRemap(logical)
+		e.pendingFault = append(e.pendingFault,
+			Phase{Name: "sim.fault.remap", Kind: "fault", Dur: sec, EnergyJ: joules})
+		if e.Obs != nil {
+			e.Obs.Counter("sim.fault.remaps").Inc()
+		}
+	}
+}
+
+// FaultReport assembles the per-run fault summary: the injector's
+// aggregated counters plus the engine-owned spare-pool accounting. Zero
+// value without an injector.
+func (e *Engine) FaultReport() fault.Report {
+	if e.Faults == nil {
+		return fault.Report{}
+	}
+	r := e.Faults.Report()
+	r.SparesUsed = e.sparesUsed
+	r.SparesLeft = len(e.SparePool) - e.sparesUsed
+	return r
 }
 
 // ExecEncoded executes assembled 64-bit instruction streams — the actual
@@ -542,9 +765,17 @@ func (e *Engine) ExecTransfers(name string, trs []RowTransfer) Phase {
 			e.moveWords(tr)
 		}
 	}
+	// Visit tiles in sorted order: the float energy accumulation must not
+	// depend on map iteration order, or seeded runs stop being
+	// byte-reproducible.
+	tiles := make([]int, 0, len(perTile))
+	for tile := range perTile {
+		tiles = append(tiles, tile)
+	}
+	sort.Ints(tiles)
 	var dur, energy float64
-	for tile, batch := range perTile {
-		s := intercon.ScheduleBatch(e.Chip.Topology(tile), batch)
+	for _, tile := range tiles {
+		s := intercon.ScheduleBatch(e.Chip.Topology(tile), perTile[tile])
 		if s.Makespan > dur {
 			dur = s.Makespan
 		}
@@ -621,7 +852,9 @@ func (e *Engine) PhaseTime(kind string) float64 {
 	return t
 }
 
-// Reset clears the timeline and counters but keeps the chip (and its data).
+// Reset clears the timeline and counters but keeps the chip (and its
+// data). Remaps and spare-pool consumption survive a Reset — they are chip
+// state, not run state.
 func (e *Engine) Reset() {
 	e.Timeline = nil
 	e.TotalEnergy = 0
@@ -630,6 +863,7 @@ func (e *Engine) Reset() {
 	e.TransferCt = 0
 	e.DRAMBytes = 0
 	e.err = nil
+	e.pendingFault = nil
 }
 
 // PublishTotals writes the engine's run-level aggregates into the attached
@@ -646,6 +880,47 @@ func (e *Engine) PublishTotals() {
 	e.Obs.Gauge("sim.transfer_count").Set(float64(e.TransferCt))
 	e.Obs.Gauge("sim.dram_bytes").Set(float64(e.DRAMBytes))
 	e.Obs.Gauge("sim.workers").Set(float64(e.Workers))
+	if e.Faults != nil {
+		r := e.FaultReport()
+		e.Obs.Gauge("sim.fault.flips").Set(float64(r.Counts.Flips))
+		e.Obs.Gauge("sim.fault.stuck_writes").Set(float64(r.Counts.StuckWrites))
+		e.Obs.Gauge("sim.fault.wearouts").Set(float64(r.Counts.Wearouts))
+		e.Obs.Gauge("sim.fault.spares_used").Set(float64(r.SparesUsed))
+		e.Obs.Gauge("sim.fault.rollbacks").Set(float64(r.Rollbacks))
+	}
+}
+
+// TimelineDigest is an FNV-1a hash of the committed timeline (names,
+// kinds, and exact float bit patterns of start/duration/energy). Two runs
+// are timeline-identical iff their digests match — the reproducibility
+// check of the fault determinism gate.
+func (e *Engine) TimelineDigest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mixByte := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mixU64 := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			mixByte(byte(v >> s))
+		}
+	}
+	for _, p := range e.Timeline {
+		for _, s := range []string{p.Name, p.Kind} {
+			for i := 0; i < len(s); i++ {
+				mixByte(s[i])
+			}
+			mixByte(0)
+		}
+		mixU64(math.Float64bits(p.Start))
+		mixU64(math.Float64bits(p.Dur))
+		mixU64(math.Float64bits(p.EnergyJ))
+	}
+	return h
 }
 
 // CheckClose is a test helper: true when a and b agree within rel.

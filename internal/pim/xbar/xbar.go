@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"wavepim/internal/params"
+	"wavepim/internal/pim/fault"
 )
 
 // Rows and WordsPerRow describe the block geometry (1 Mb = 1024 x 1024
@@ -57,6 +58,20 @@ type Block struct {
 	cells [][]uint32 // [Rows][WordsPerRow] float32 bit patterns
 	buf   []uint32   // row buffer (one row)
 	Stats Stats
+
+	// Faults, when non-nil, intercepts every cell write with the
+	// deterministic fault model (stuck-at, transient flips, wearout).
+	// nil is the golden-path fast path: one pointer test per write.
+	Faults *fault.BlockFaults
+}
+
+// store is the single choke point for cell writes: the fault injector, if
+// attached, decides what actually lands in the array.
+func (b *Block) store(row, off int, v uint32) {
+	if b.Faults != nil {
+		v = b.Faults.Store(row, off, v)
+	}
+	b.cells[row][off] = v
 }
 
 // New allocates a zeroed block.
@@ -88,7 +103,7 @@ func (b *Block) checkOff(off int) {
 func (b *Block) SetFloat(row, off int, v float32) {
 	b.checkRow(row)
 	b.checkOff(off)
-	b.cells[row][off] = math.Float32bits(v)
+	b.store(row, off, math.Float32bits(v))
 }
 
 // GetFloat reads a float32 from the cells.
@@ -102,7 +117,7 @@ func (b *Block) GetFloat(row, off int) float32 {
 func (b *Block) SetWord(row, off int, v uint32) {
 	b.checkRow(row)
 	b.checkOff(off)
-	b.cells[row][off] = v
+	b.store(row, off, v)
 }
 
 func (b *Block) GetWord(row, off int) uint32 {
@@ -124,7 +139,13 @@ func (b *Block) ReadRow(row int) []uint32 {
 // WriteRow stores the row buffer into a row (OpWrite).
 func (b *Block) WriteRow(row int) {
 	b.checkRow(row)
-	copy(b.cells[row], b.buf)
+	if b.Faults == nil {
+		copy(b.cells[row], b.buf)
+	} else {
+		for o, v := range b.buf {
+			b.store(row, o, v)
+		}
+	}
 	b.Stats.RowWrites++
 	b.Stats.BusySec += params.BlockRowWriteLatency
 	b.Stats.EnergyJ += params.RowBufferWriteEnergyJ
@@ -184,7 +205,7 @@ func (b *Block) ArithSel(op ArithOp, rowStart, rowCount, dstOff, srcOff, src2Off
 		case OpSub:
 			v = a - c
 		}
-		b.cells[r][dstOff] = math.Float32bits(v)
+		b.store(r, dstOff, math.Float32bits(v))
 	}
 	if op == OpMul {
 		b.Stats.MulOps += int64(rowCount)
@@ -228,7 +249,7 @@ func (b *Block) GroupBcast(rowStart, rowCount, srcOff, dstOff, stride, groupSize
 		if src >= rowStart+rowCount {
 			continue // ragged tail group: leave untouched
 		}
-		b.cells[r][dstOff] = b.cells[src][srcOff]
+		b.store(r, dstOff, b.cells[src][srcOff])
 	}
 	b.Stats.CopiedRows += int64(rowCount)
 	b.Stats.BusySec += params.GroupBcastLatencySec
@@ -251,7 +272,7 @@ func (b *Block) Pattern(baseRow, rowStart, rowCount, srcOff, dstOff, stride, gro
 	}
 	for r := rowStart; r < rowStart+rowCount; r++ {
 		src := baseRow + ((r-rowStart)/stride)%groupSize
-		b.cells[r][dstOff] = b.cells[src][srcOff]
+		b.store(r, dstOff, b.cells[src][srcOff])
 	}
 	b.Stats.CopiedRows += int64(rowCount)
 	b.Stats.BusySec += params.GroupBcastLatencySec
@@ -272,9 +293,63 @@ func (b *Block) Broadcast(srcRow, rowStart, rowCount, srcOff, dstOff, wordCount 
 	}
 	src := b.cells[srcRow]
 	for r := rowStart; r < rowStart+rowCount; r++ {
-		copy(b.cells[r][dstOff:dstOff+wordCount], src[srcOff:srcOff+wordCount])
+		if b.Faults == nil {
+			copy(b.cells[r][dstOff:dstOff+wordCount], src[srcOff:srcOff+wordCount])
+		} else {
+			for w := 0; w < wordCount; w++ {
+				b.store(r, dstOff+w, src[srcOff+w])
+			}
+		}
 	}
 	b.Stats.CopiedRows += int64(rowCount)
 	b.Stats.BusySec += params.BlockRowReadLatency + float64(rowCount)*params.BlockRowWriteLatency
 	b.Stats.EnergyJ += params.RowBufferReadEnergyJ + float64(rowCount)*params.RowBufferWriteEnergyJ
+}
+
+// Snapshot returns a flat copy of the cell array, taken before a
+// retriable program so a verify-retry can rewind the block.
+func (b *Block) Snapshot() []uint32 {
+	out := make([]uint32, Rows*WordsPerRow)
+	for r, row := range b.cells {
+		copy(out[r*WordsPerRow:], row)
+	}
+	return out
+}
+
+// Restore rewinds the cell array to a Snapshot. It bypasses the fault
+// injector: the snapshot already holds physically-stored (possibly
+// corrupted) values, and a rollback is a modeling rewind, not a device
+// write.
+func (b *Block) Restore(snap []uint32) {
+	if len(snap) != Rows*WordsPerRow {
+		panic(fmt.Sprintf("xbar: snapshot has %d words, want %d", len(snap), Rows*WordsPerRow))
+	}
+	for r, row := range b.cells {
+		copy(row, snap[r*WordsPerRow:(r+1)*WordsPerRow])
+	}
+}
+
+// Scrub runs the ECC detect-and-correct pass over the block's corrupted
+// cells. Corrections are written back through the fault path, so a stuck
+// bit deterministically defeats them. No-op without an injector.
+func (b *Block) Scrub() fault.ScrubResult {
+	if b.Faults == nil {
+		return fault.ScrubResult{}
+	}
+	return b.Faults.Scrub(
+		func(row, off int) uint32 { return b.cells[row][off] },
+		func(row, off int, v uint32) { b.store(row, off, v) },
+	)
+}
+
+// CorrectedWord reads a word with ECC knowledge applied: a cell pending
+// correction yields its intended value. This is the readout path of a
+// spare-block migration.
+func (b *Block) CorrectedWord(row, off int) uint32 {
+	if b.Faults != nil {
+		if v, ok := b.Faults.Intended(row, off); ok {
+			return v
+		}
+	}
+	return b.cells[row][off]
 }

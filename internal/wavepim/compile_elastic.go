@@ -540,3 +540,22 @@ func (f *FunctionalElastic) ReadState(q *dg.ElasticState) {
 		}
 	}
 }
+
+// WriteState rewrites only the solver variables (and zeroes the RK
+// auxiliaries), leaving constants untouched — the restore half of a
+// checkpoint rollback (exact at step boundaries since LSRK5A[0] = 0).
+func (f *FunctionalElastic) WriteState(q *dg.ElasticState) {
+	nn := f.Mesh.NodesPerEl
+	for e := 0; e < f.Mesh.NumElem; e++ {
+		for _, role := range elasticComputeRoles {
+			b := f.Engine.Chip.Block(f.roleBlock(e, role))
+			src := elasticVarSlices(q, role)
+			for v := 0; v < 3; v++ {
+				for n := 0; n < nn; n++ {
+					b.SetFloat(n, ExColVar0+v, float32(src[v][e*nn+n]))
+					b.SetFloat(n, ExColAux+v, 0)
+				}
+			}
+		}
+	}
+}

@@ -357,3 +357,25 @@ func (f *FunctionalMaxwell) ReadState(q *dg.MaxwellState) {
 		}
 	}
 }
+
+// WriteState rewrites only the solver variables (and zeroes the RK
+// auxiliaries), leaving constants untouched — the restore half of a
+// checkpoint rollback (exact at step boundaries since LSRK5A[0] = 0).
+func (f *FunctionalMaxwell) WriteState(q *dg.MaxwellState) {
+	nn := f.Mesh.NodesPerEl
+	for e := 0; e < f.Mesh.NumElem; e++ {
+		for _, eBlock := range []bool{true, false} {
+			blk := f.Engine.Chip.Block(f.blockOf(e, eBlock))
+			src := q.E
+			if !eBlock {
+				src = q.H
+			}
+			for v := 0; v < 3; v++ {
+				for n := 0; n < nn; n++ {
+					blk.SetFloat(n, ExColVar0+v, float32(src[v][e*nn+n]))
+					blk.SetFloat(n, ExColAux+v, 0)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package wavepim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"wavepim/internal/pim/fault"
+)
+
+// FuzzFaultedRun feeds arbitrary fault and recovery configurations into a
+// small acoustic run. The contract under any configuration: the run either
+// completes, or fails with a typed recovery error — it never panics and
+// never hangs. The seed corpus doubles as a regression suite under plain
+// `go test` (fuzzing only engages with -fuzz).
+func FuzzFaultedRun(f *testing.F) {
+	f.Add(uint64(1), 1e-5, 1e-6, uint64(0), true, uint8(1), uint8(2), uint8(2), uint8(1))
+	f.Add(uint64(2), 5e-3, 0.0, uint64(100), false, uint8(0), uint8(0), uint8(1), uint8(0))
+	f.Add(uint64(3), 0.0, 1.0, uint64(0), true, uint8(2), uint8(1), uint8(3), uint8(2))
+	f.Add(uint64(4), 1.0, 1.0, uint64(1), true, uint8(3), uint8(4), uint8(1), uint8(3))
+	f.Add(uint64(5), 0.0, 0.0, uint64(0), false, uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, flip, stuck float64, wear uint64,
+		ecc bool, retries, spares, ckpt, rollbacks uint8) {
+		// Clamp the fuzzer's floats into valid probabilities (NaN and Inf
+		// included) and keep the discrete budgets small enough to terminate.
+		norm := func(p float64) float64 {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				return 0
+			}
+			return math.Mod(math.Abs(p), 1.0000001)
+		}
+		cfg := fault.Config{
+			Seed:            seed,
+			FlipProb:        norm(flip),
+			StuckProb:       norm(stuck),
+			EnduranceWrites: wear % 1_000_000,
+		}
+		rec := fault.Recovery{
+			ECC:             ecc,
+			MaxRetries:      int(retries % 4),
+			SpareBlocks:     int(spares % 8),
+			CheckpointEvery: int(ckpt % 4),
+			MaxRollbacks:    int(rollbacks % 4),
+			BlowupFactor:    1e3,
+		}
+
+		s := sessionForTest(t, WithFaults(cfg), WithRecovery(rec))
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		err := s.Run(ctx, 2)
+		switch {
+		case err == nil:
+		case errors.Is(err, fault.ErrNoSpares):
+		case errors.Is(err, fault.ErrUnrecoverable):
+		case errors.Is(err, context.DeadlineExceeded):
+			t.Fatalf("run hung until the watchdog deadline: %v", err)
+		default:
+			t.Fatalf("untyped error escaped the recovery ladder: %v", err)
+		}
+		// Whatever happened, the report must still assemble and marshal.
+		r := s.FaultReport()
+		if r.SparesLeft < 0 || r.SparesUsed > rec.SpareBlocks {
+			t.Fatalf("spare accounting out of range: %s", r)
+		}
+	})
+}

@@ -176,3 +176,14 @@ func (f *FunctionalAcoustic) ReadRHS(rhs *dg.AcousticState) {
 		f.Comp.ReadAcousticContrib(f.Engine.Chip.Block(blk), rhs, e)
 	}
 }
+
+// WriteState rewrites only the solver variables (and zeroes the RK
+// auxiliaries), leaving the constant rows untouched — the restore half of
+// a checkpoint rollback. Zeroing the auxiliaries at a step boundary is
+// exact: LSRK5A[0] = 0, so the first stage of the next step overwrites
+// them regardless of history.
+func (f *FunctionalAcoustic) WriteState(q *dg.AcousticState) {
+	for e, blk := range f.blocks {
+		f.Comp.LoadAcousticState(f.Engine.Chip.Block(blk), q, e)
+	}
+}

@@ -307,3 +307,17 @@ func LayoutFor(eq opcount.Equation, t Technique) LayoutKind {
 		return AcousticOneBlock
 	}
 }
+
+// MaxBlockID returns the highest block id this placement can produce over
+// the whole element lattice — the boundary above which the fault layer
+// reserves spare blocks for remapping.
+func (p *Placement) MaxBlockID() int {
+	n := p.EperAx - 1
+	var idx int
+	if p.Morton {
+		idx = Morton3(n, n, n)
+	} else {
+		idx = (n*p.EperAx+n)*p.EperAx + n
+	}
+	return idx*p.slotsPE + p.slotsPE - 1
+}

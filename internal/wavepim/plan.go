@@ -96,6 +96,11 @@ func MakePlan(b opcount.Benchmark, cfg chip.Config) (Plan, error) {
 // PaperTable5 returns the published Table 5 technique strings, indexed by
 // [benchmark][chip] in the order of opcount.AllBenchmarks-by-refinement
 // groups and chip.AllConfigs.
+//
+// Determinism note: this is the only map in the planning layer, and it is
+// only ever read by keyed lookup (tests index it by benchmark and chip
+// name) — its iteration order never feeds a result, a timeline, or a
+// report, so seeded fault runs stay byte-reproducible.
 func PaperTable5() map[string]map[string]string {
 	return map[string]map[string]string{
 		"Acoustic_4": {

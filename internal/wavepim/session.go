@@ -2,6 +2,7 @@ package wavepim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -11,7 +12,9 @@ import (
 	"wavepim/internal/mesh"
 	"wavepim/internal/obs"
 	"wavepim/internal/pim/chip"
+	"wavepim/internal/pim/fault"
 	"wavepim/internal/pim/sim"
+	"wavepim/internal/pim/xbar"
 )
 
 // Session is the unified entry point to a functional Wave-PIM run. It owns
@@ -51,6 +54,9 @@ type sessionConfig struct {
 	acMat   material.Acoustic
 	elMat   material.Elastic
 	diel    material.Dielectric
+
+	faults   *fault.Config
+	recovery *fault.Recovery
 }
 
 // Option configures a Session (functional-options style).
@@ -118,6 +124,22 @@ func WithDielectric(m material.Dielectric) Option {
 	return func(c *sessionConfig) { c.diel = m }
 }
 
+// WithFaults enables deterministic fault injection on the chip's block
+// write paths (stuck-at cells, transient per-write flips, endurance
+// wearout, all seeded). Unless WithRecovery is also given, the full
+// fault.DefaultRecovery ladder is enabled alongside.
+func WithFaults(cfg fault.Config) Option {
+	return func(c *sessionConfig) { c.faults = &cfg }
+}
+
+// WithRecovery sets the self-healing policy: per-block ECC scrubbing,
+// verify-retry budgets, spare-block reservation, and the solver-level
+// checkpoint/rollback guard. Useful alone (health checks without injected
+// faults) or paired with WithFaults.
+func WithRecovery(rec fault.Recovery) Option {
+	return func(c *sessionConfig) { c.recovery = &rec }
+}
+
 // NewSession builds the chip, engine, and compiled solver for one equation.
 func NewSession(opts ...Option) (*Session, error) {
 	cfg := sessionConfig{
@@ -179,7 +201,65 @@ func NewSession(opts ...Option) (*Session, error) {
 		s.eng.Workers = cfg.workers
 	}
 	s.eng.Obs = cfg.sink
+	if cfg.faults != nil || cfg.recovery != nil {
+		if err := s.setupFaults(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// recovery resolves the effective recovery policy: the explicit one, else
+// the full default ladder when faults are injected, else everything off.
+func (s *Session) recovery() fault.Recovery {
+	if s.cfg.recovery != nil {
+		return *s.cfg.recovery
+	}
+	if s.cfg.faults != nil {
+		return fault.DefaultRecovery()
+	}
+	return fault.Recovery{}
+}
+
+// setupFaults wires the injector into the engine and chip: a block hook
+// attaches per-block fault state race-free at materialization, and the
+// spare pool is reserved just past the layout's highest used block id.
+func (s *Session) setupFaults() error {
+	rec := s.recovery()
+	var fcfg fault.Config
+	if s.cfg.faults != nil {
+		fcfg = *s.cfg.faults
+	}
+	inj := fault.NewInjector(fcfg, rec)
+	s.eng.Faults = inj
+	if fcfg.Enabled() {
+		s.eng.Chip.SetBlockHook(func(b *xbar.Block) { b.Faults = inj.ForBlock(b.ID) })
+	}
+	if rec.SpareBlocks > 0 {
+		maxID := s.place().MaxBlockID()
+		nb := s.eng.Chip.Config.NumBlocks()
+		if maxID+rec.SpareBlocks >= nb {
+			return fmt.Errorf("wavepim: chip %s cannot reserve %d spare blocks: layout uses ids up to %d of %d",
+				s.eng.Chip.Config.Name, rec.SpareBlocks, maxID, nb)
+		}
+		pool := make([]int, rec.SpareBlocks)
+		for i := range pool {
+			pool[i] = maxID + 1 + i
+		}
+		s.eng.SparePool = pool
+	}
+	return nil
+}
+
+// place returns the active system's block placement.
+func (s *Session) place() *Placement {
+	switch {
+	case s.ac != nil:
+		return s.ac.Place
+	case s.el != nil:
+		return s.el.Place
+	}
+	return s.mx.Place
 }
 
 // sessionChip resolves the chip configuration: the pinned one, else the
@@ -223,22 +303,162 @@ func (s *Session) Step() {
 	}
 }
 
-// Run executes n time-steps under ctx. Cancellation is honored at block
-// granularity inside the engine's worker pool: the current batch stops,
-// the engine's clock stays consistent with the work actually committed,
-// and Run returns ctx.Err(). On a clean finish it publishes the engine
-// and chip totals to the attached sink.
+// ErrDeadline reports that Run stopped because the context deadline
+// expired. Step is the last fully completed time-step, so a caller can
+// resume or account partial progress; errors.Is(err,
+// context.DeadlineExceeded) remains true through Unwrap.
+type ErrDeadline struct {
+	Step int
+	Err  error
+}
+
+func (e *ErrDeadline) Error() string {
+	return fmt.Sprintf("wavepim: deadline exceeded after %d completed steps: %v", e.Step, e.Err)
+}
+
+func (e *ErrDeadline) Unwrap() error { return e.Err }
+
+// fieldCheckpoint is one solver-state snapshot for rollback-and-retry.
+type fieldCheckpoint struct {
+	step   int
+	normSq float64
+	ac     *dg.AcousticState
+	el     *dg.ElasticState
+	mx     *dg.MaxwellState
+}
+
+// Run executes n time-steps under ctx. Cancellation is honored both at
+// block granularity inside the engine's worker pool and between RK
+// time-steps; an expired deadline surfaces as *ErrDeadline carrying the
+// last completed step. With a recovery policy (WithFaults/WithRecovery)
+// Run additionally checks solver health every CheckpointEvery steps —
+// non-finite values or norm blow-up trigger a rollback to the last
+// healthy checkpoint and a re-run of the damaged span, up to MaxRollbacks
+// (then fault.ErrUnrecoverable). On a clean finish it publishes the
+// engine and chip totals to the attached sink.
 func (s *Session) Run(ctx context.Context, n int) error {
 	s.eng.SetContext(ctx)
 	defer s.eng.SetContext(nil)
-	for i := 0; i < n; i++ {
+
+	rec := s.recovery()
+	guarded := rec.CheckpointEvery > 0
+	var (
+		ck        fieldCheckpoint
+		rollbacks int
+	)
+	if guarded {
+		ck = s.captureState(0)
+		s.chargeCheckpoint("sim.fault.checkpoint")
+		if s.eng.Faults != nil {
+			s.eng.Faults.NoteCheckpoint()
+		}
+	}
+	for i := 0; i < n; {
 		s.Step()
 		if err := s.eng.Err(); err != nil {
-			return err
+			return s.runErr(err, i)
+		}
+		if err := ctx.Err(); err != nil {
+			return s.runErr(err, i)
+		}
+		i++
+		if !guarded || (i%rec.CheckpointEvery != 0 && i != n) {
+			continue
+		}
+		cand := s.captureState(i)
+		if err := dg.CheckHealth(i, ck.normSq, rec.BlowupFactor, s.stateSlices(cand)...); err != nil {
+			if rollbacks >= rec.MaxRollbacks {
+				return fmt.Errorf("wavepim: %v: %w", err, fault.ErrUnrecoverable)
+			}
+			rollbacks++
+			if s.eng.Faults != nil {
+				s.eng.Faults.NoteRollback()
+			}
+			s.restoreState(ck)
+			s.chargeCheckpoint("sim.fault.rollback")
+			i = ck.step
+			continue
+		}
+		ck = cand
+		s.chargeCheckpoint("sim.fault.checkpoint")
+		if s.eng.Faults != nil {
+			s.eng.Faults.NoteCheckpoint()
 		}
 	}
 	s.Publish()
 	return nil
+}
+
+// runErr maps a run-stopping error to its typed form.
+func (s *Session) runErr(err error, completedSteps int) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &ErrDeadline{Step: completedSteps, Err: err}
+	}
+	return err
+}
+
+// captureState reads the current field state off the chip.
+func (s *Session) captureState(step int) fieldCheckpoint {
+	ck := fieldCheckpoint{step: step}
+	switch {
+	case s.ac != nil:
+		ck.ac = dg.NewAcousticState(s.cfg.mesh)
+		s.ac.ReadState(ck.ac)
+	case s.el != nil:
+		ck.el = dg.NewElasticState(s.cfg.mesh)
+		s.el.ReadState(ck.el)
+	case s.mx != nil:
+		ck.mx = dg.NewMaxwellState(s.cfg.mesh)
+		s.mx.ReadState(ck.mx)
+	}
+	ck.normSq = dg.NormSq(s.stateSlices(ck)...)
+	return ck
+}
+
+// stateSlices returns the variable arrays of a checkpoint.
+func (s *Session) stateSlices(ck fieldCheckpoint) [][]float64 {
+	switch {
+	case ck.ac != nil:
+		return ck.ac.Slices()
+	case ck.el != nil:
+		return ck.el.Slices()
+	case ck.mx != nil:
+		return ck.mx.Slices()
+	}
+	return nil
+}
+
+// restoreState writes a checkpoint's fields back onto the chip.
+func (s *Session) restoreState(ck fieldCheckpoint) {
+	switch {
+	case ck.ac != nil:
+		s.ac.WriteState(ck.ac)
+	case ck.el != nil:
+		s.el.WriteState(ck.el)
+	case ck.mx != nil:
+		s.mx.WriteState(ck.mx)
+	}
+}
+
+// chargeCheckpoint accounts a checkpoint store (or rollback load+rewrite)
+// as an off-chip DRAM transaction of the state's size on the simulated
+// timeline.
+func (s *Session) chargeCheckpoint(name string) {
+	nvars := 4 // acoustic
+	switch {
+	case s.el != nil:
+		nvars = 9
+	case s.mx != nil:
+		nvars = 6
+	}
+	bytes := int64(s.cfg.mesh.NumElem*s.cfg.mesh.NodesPerEl*nvars) * 4
+	s.eng.Sequence(s.eng.ExecDRAM(name, bytes))
+}
+
+// FaultReport returns the per-run fault summary (zero value when the
+// session runs without WithFaults/WithRecovery).
+func (s *Session) FaultReport() fault.Report {
+	return s.eng.FaultReport()
 }
 
 // Publish flushes run-level totals to the sink: engine gauges

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# fault_determinism_guard.sh — CI gate for seeded fault reproducibility:
+# the same seeded stuck+flip functional scenario, run twice, must produce
+# byte-identical fault reports (counters, remaps, engine totals, and the
+# timeline digest hashing every phase's exact float bit patterns).
+#
+# This is the property everything else leans on: fault decisions are pure
+# hashes of (seed, block, cell, write epoch), so neither goroutine
+# scheduling nor map iteration order may leak into a result.
+#
+# Usage: scripts/fault_determinism_guard.sh [fault-spec]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SPEC="${1:-seed=7,flip=1e-5,stuck=1e-6}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/wavepim" ./cmd/wavepim
+
+run() {
+	"$TMP/wavepim" -functional -refine 1 -np 4 -fsteps 4 \
+		-faults "$SPEC" -faultreport "$1"
+}
+
+echo "== run 1 =="
+run "$TMP/report1.json"
+echo "== run 2 =="
+run "$TMP/report2.json"
+
+if ! diff -u "$TMP/report1.json" "$TMP/report2.json"; then
+	echo "FAIL: seeded fault runs are not byte-reproducible" >&2
+	exit 1
+fi
+echo "PASS: fault reports byte-identical across runs ($SPEC)"
