@@ -22,6 +22,7 @@ import (
 	"wavepim/internal/dg/opcount"
 	"wavepim/internal/experiments"
 	"wavepim/internal/obs"
+	"wavepim/internal/obs/eventlog"
 	"wavepim/internal/pim/chip"
 	"wavepim/internal/wavepim"
 )
@@ -33,10 +34,11 @@ func main() {
 	eqName := flag.String("eq", "acoustic", "instrumented run equation: acoustic, elastic-central, elastic-riemann, maxwell")
 	refine := flag.Int("refine", 4, "instrumented run refinement level")
 	chipName := flag.String("chip", "PIM-16GB", "instrumented run chip configuration (PIM-512MB, PIM-2GB, PIM-8GB, PIM-16GB)")
+	eventLogPath := flag.String("eventlog", "", "instrumented run: write structured JSONL events to this file ('-' for stderr)")
 	flag.Parse()
 
-	if *tracePath != "" || *metricsPath != "" {
-		if err := instrumentedRun(*eqName, *refine, *chipName, *tracePath, *metricsPath); err != nil {
+	if *tracePath != "" || *metricsPath != "" || *eventLogPath != "" {
+		if err := instrumentedRun(*eqName, *refine, *chipName, *tracePath, *metricsPath, *eventLogPath); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}
@@ -120,7 +122,7 @@ func main() {
 
 // instrumentedRun times one benchmark with an observability sink attached
 // and exports the requested artifacts.
-func instrumentedRun(eqName string, refine int, chipName, tracePath, metricsPath string) error {
+func instrumentedRun(eqName string, refine int, chipName, tracePath, metricsPath, eventLogPath string) error {
 	var eq opcount.Equation
 	switch eqName {
 	case "acoustic":
@@ -144,14 +146,32 @@ func instrumentedRun(eqName string, refine int, chipName, tracePath, metricsPath
 	if cfg == nil {
 		return fmt.Errorf("unknown chip configuration %q", chipName)
 	}
+	var log *eventlog.Logger
+	switch eventLogPath {
+	case "":
+	case "-":
+		log = eventlog.New(os.Stderr, eventlog.Debug)
+	default:
+		f, err := os.Create(eventLogPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		log = eventlog.New(f, eventlog.Debug)
+	}
 	sink := obs.NewSink()
 	opt := wavepim.DefaultOptions()
 	opt.Obs = sink
 	b := opcount.Benchmark{Eq: eq, Refinement: refine}
+	log.Info("bench.start", eventlog.Str("bench", b.Name()), eventlog.Str("chip", cfg.Name))
 	res, err := wavepim.Run(b, *cfg, opt)
 	if err != nil {
+		log.Error("bench.error", eventlog.Str("error", err.Error()))
 		return err
 	}
+	log.Info("bench.end",
+		eventlog.F64("total_seconds", res.TotalSec),
+		eventlog.F64("energy_joules", res.EnergyJ))
 	fmt.Printf("%s on %s: %.4fs total, %.2f J, %d instr/stage\n",
 		b.Name(), cfg.Name, res.TotalSec, res.EnergyJ, res.InstrPerStage)
 	write := func(path string, export func(w io.Writer) error) error {

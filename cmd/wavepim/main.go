@@ -16,6 +16,12 @@
 // checkpointed rollback), printing a reproducible fault report:
 //
 //	wavepim -functional -faults seed=7,flip=1e-7,stuck=1e-6 -faultreport report.json
+//
+// With -eventlog the functional run emits structured JSONL events (run
+// lifecycle plus one event per recovery-rung firing); with -flight an
+// unrecoverable failure additionally writes the flight-recorder dump:
+//
+//	wavepim -functional -faults seed=13,flip=5e-3 -eventlog - -flight dump.json
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -31,6 +38,8 @@ import (
 	"wavepim/internal/dg/opcount"
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
+	"wavepim/internal/obs"
+	"wavepim/internal/obs/eventlog"
 	"wavepim/internal/pim/chip"
 	"wavepim/internal/pim/fault"
 	"wavepim/internal/pim/isa"
@@ -51,6 +60,8 @@ func main() {
 	faultSpec := flag.String("faults", "", "functional: inject faults, e.g. seed=7,flip=1e-7,stuck=1e-6,wear=100000")
 	recoverSpec := flag.String("recover", "", "functional: recovery policy, e.g. ecc=1,retries=2,spares=4,ckpt=8,rollbacks=2,blowup=1e3")
 	faultReport := flag.String("faultreport", "", "functional: write the JSON fault report (plus timeline digest) to this file")
+	eventLog := flag.String("eventlog", "", "functional: write structured JSONL events (run lifecycle, recovery rungs) to this file ('-' for stderr)")
+	flight := flag.String("flight", "", "functional: write the flight-recorder dump (JSON) to this file when the run fails unrecoverably")
 	disasm := flag.String("disasm", "", "disassemble a compiled kernel: volume, flux, integration")
 	flag.Parse()
 
@@ -59,7 +70,7 @@ func main() {
 		return
 	}
 	if *functional {
-		runFunctional(*refine, *np, *fnSteps, *faultSpec, *recoverSpec, *faultReport)
+		runFunctional(*refine, *np, *fnSteps, *faultSpec, *recoverSpec, *faultReport, *eventLog, *flight)
 		return
 	}
 
@@ -155,7 +166,7 @@ func parseBench(s string) (opcount.Benchmark, bool) {
 	return opcount.Benchmark{}, false
 }
 
-func runFunctional(refine, np, steps int, faultSpec, recoverSpec, reportPath string) {
+func runFunctional(refine, np, steps int, faultSpec, recoverSpec, reportPath, eventLogPath, flightPath string) {
 	m := mesh.New(refine, np, true)
 	mat := material.Acoustic{Kappa: 2.25, Rho: 1.0}
 	fmt.Printf("functional PIM run: %d elements x %d nodes, %d steps, Riemann flux\n",
@@ -172,6 +183,42 @@ func runFunctional(refine, np, steps int, faultSpec, recoverSpec, reportPath str
 		wavepim.WithMesh(m),
 		wavepim.WithAcousticMaterial(mat),
 		wavepim.WithDt(dt),
+	}
+	// Telemetry wiring (the single-process analogue of wavepimd): an
+	// event logger, and for -flight a sink-backed recorder teed into it.
+	if eventLogPath != "" || flightPath != "" {
+		w := os.Stderr
+		if eventLogPath != "" && eventLogPath != "-" {
+			f, err := os.Create(eventLogPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		var logW io.Writer = w
+		if eventLogPath == "" {
+			logW = io.Discard // -flight alone: record events, print none
+		}
+		log := eventlog.New(logW, eventlog.Debug)
+		sink := obs.NewSink()
+		fr := eventlog.NewFlightRecorder(sink.Trace, 256, 256)
+		log.SetRecorder(fr)
+		opts = append(opts,
+			wavepim.WithObs(sink),
+			wavepim.WithRunID("cli"),
+			wavepim.WithEventLog(log.WithRun("cli")),
+			wavepim.WithFlightRecorder(fr))
+		if flightPath != "" {
+			f, err := os.Create(flightPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			opts = append(opts, wavepim.WithFlightDump(f))
+		}
 	}
 	faulted := faultSpec != "" || recoverSpec != ""
 	if faultSpec != "" {

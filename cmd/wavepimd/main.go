@@ -1,0 +1,74 @@
+// Command wavepimd is the long-running telemetry-serving daemon: it
+// executes functional Wave-PIM simulation jobs submitted over HTTP and
+// exposes the full observability surface of the reproduction —
+// Prometheus metrics, structured JSONL event logs, Chrome traces, and
+// fault flight-recorder dumps.
+//
+//	wavepimd -addr :8080 &
+//	curl -s -X POST localhost:8080/runs -d '{"equation":"acoustic","steps":4,"faults":"seed=4,flip=1e-5,stuck=1e-6"}'
+//	curl -s localhost:8080/metrics | grep sim_fault_rung_events
+//
+// Endpoints:
+//
+//	POST /runs             submit a job (jobSpec JSON); 202 + {"id": ...}
+//	GET  /runs             list runs with status and fault report
+//	GET  /runs/{id}        one run's status
+//	GET  /runs/{id}/trace  the run's Chrome trace (chrome://tracing)
+//	GET  /runs/{id}/flight the run's flight-recorder dump (404 if none)
+//	GET  /metrics          Prometheus text exposition (shared registry)
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 while draining)
+//	     /debug/pprof/*    Go runtime profiles
+//
+// Shutdown (SIGINT/SIGTERM) is graceful: readiness flips to 503, queued
+// and in-flight runs drain, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wavepim/internal/obs/eventlog"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent simulation jobs")
+	queue := flag.Int("queue", 16, "job queue capacity (submits beyond it get 503)")
+	traceCap := flag.Int("tracecap", 4096, "per-run span ring capacity")
+	logLevel := flag.String("loglevel", "info", "event log level: debug, info, warn, error")
+	flag.Parse()
+
+	srv := newServer(*workers, *queue, *traceCap, os.Stderr, eventlog.ParseLevel(*logLevel))
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	srv.log.Info("daemon.listening", eventlog.Str("addr", *addr), eventlog.Int("workers", *workers))
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		srv.log.Info("daemon.shutdown", eventlog.Str("signal", sig.String()))
+		srv.drain() // readiness flips to 503; queued + in-flight runs finish
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,497 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"wavepim/internal/dg"
+	"wavepim/internal/dg/opcount"
+	"wavepim/internal/material"
+	"wavepim/internal/mesh"
+	"wavepim/internal/obs"
+	"wavepim/internal/obs/eventlog"
+	"wavepim/internal/pim/fault"
+	"wavepim/internal/wavepim"
+)
+
+// jobSpec is the POST /runs body: one functional simulation job in the
+// vocabulary of the benchmark table (equation, mesh refinement, nodes per
+// axis) plus the fault-injection spec strings the CLIs already accept.
+type jobSpec struct {
+	Equation   string  `json:"equation"`    // acoustic | elastic-central | elastic-riemann | maxwell
+	Refine     int     `json:"refine"`      // mesh refinement level (default 1)
+	Np         int     `json:"np"`          // GLL nodes per axis (default 4)
+	Steps      int     `json:"steps"`       // time steps (default 4)
+	CFL        float64 `json:"cfl"`         // CFL number for dt (default 0.3)
+	Workers    int     `json:"workers"`     // engine worker pool (default: per core)
+	Faults     string  `json:"faults"`      // fault.ParseSpec string, e.g. "seed=4,flip=1e-5"
+	Recover    string  `json:"recover"`     // fault.ParseRecoverySpec string
+	DeadlineMS int     `json:"deadline_ms"` // wall-clock run deadline (0: none)
+}
+
+// equationOf maps the wire name to the opcount constant.
+func equationOf(s string) (opcount.Equation, bool) {
+	switch s {
+	case "", "acoustic":
+		return opcount.Acoustic, true
+	case "elastic-central":
+		return opcount.ElasticCentral, true
+	case "elastic-riemann":
+		return opcount.ElasticRiemann, true
+	case "maxwell":
+		return opcount.Maxwell, true
+	}
+	return 0, false
+}
+
+// run is one tracked job. Mutable fields are guarded by mu; the HTTP
+// layer reads through view().
+type run struct {
+	mu sync.Mutex
+
+	id     string
+	spec   jobSpec
+	status string // "queued", "running", "done", "failed"
+	errMsg string
+	reason string // flight-dump reason on failure ("" otherwise)
+
+	sink   *obs.Sink // per-run tracer over the shared registry
+	report fault.Report
+	dump   *eventlog.FlightDump
+	wallSec float64
+}
+
+// runView is the JSON shape of a run in /runs responses. Field order is
+// fixed by the struct, so listings are deterministic given equal state.
+type runView struct {
+	ID       string       `json:"id"`
+	Status   string       `json:"status"`
+	Equation string       `json:"equation"`
+	Steps    int          `json:"steps"`
+	Error    string       `json:"error,omitempty"`
+	Reason   string       `json:"reason,omitempty"`
+	HasDump  bool         `json:"has_flight_dump"`
+	WallSec  float64      `json:"wall_seconds"`
+	Report   fault.Report `json:"fault_report"`
+}
+
+func (r *run) view() runView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	eq, _ := equationOf(r.spec.Equation)
+	return runView{
+		ID: r.id, Status: r.status, Equation: eq.String(), Steps: r.spec.Steps,
+		Error: r.errMsg, Reason: r.reason, HasDump: r.dump != nil,
+		WallSec: r.wallSec, Report: r.report,
+	}
+}
+
+// server owns the shared metrics registry, the run table, and the worker
+// pool. One registry serves every run — per-phase histograms and rung
+// counters aggregate across jobs, which is exactly what a Prometheus
+// scraper wants — while traces and flight recorders are per run.
+type server struct {
+	reg    *obs.Registry
+	log    *eventlog.Logger
+	logW   io.Writer // per-run logger cores write here too
+	level  eventlog.Level
+	ready  time.Time
+
+	traceCap     int
+	flightEvents int
+	flightSpans  int
+
+	mu       sync.Mutex
+	runs     map[string]*run
+	order    []string
+	seq      int
+	jobs     chan *run
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// newServer builds the server and starts nWorkers job executors.
+func newServer(nWorkers, queueCap, traceCap int, logW io.Writer, level eventlog.Level) *server {
+	if nWorkers <= 0 {
+		nWorkers = 1
+	}
+	if queueCap <= 0 {
+		queueCap = 16
+	}
+	if traceCap <= 0 {
+		traceCap = 4096
+	}
+	s := &server{
+		reg:          obs.NewRegistry(),
+		log:          eventlog.New(logW, level),
+		logW:         logW,
+		level:        level,
+		ready:        time.Now(),
+		traceCap:     traceCap,
+		flightEvents: 256,
+		flightSpans:  256,
+		runs:         map[string]*run{},
+		jobs:         make(chan *run, queueCap),
+	}
+	// Pre-register the rung families so a scrape taken before any fault
+	// activity still exposes them (with zero values) — the CI smoke test
+	// and dashboards key on these names existing.
+	for _, rung := range []string{"ecc", "retry", "remap", "rollback"} {
+		s.reg.CounterVec("sim.fault.rung_events", "rung").With(rung)
+		s.reg.HistogramVec("sim.fault.mttr_seconds", "rung").With(rung)
+	}
+	for _, st := range []string{"done", "failed", "rejected"} {
+		s.reg.CounterVec("wavepimd.runs", "status").With(st)
+	}
+	s.reg.Gauge("wavepimd.active_runs")
+	s.reg.Gauge("wavepimd.queue_depth")
+	for i := 0; i < nWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// drain stops accepting jobs and blocks until every queued and in-flight
+// run has finished.
+func (s *server) drain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.jobs)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *server) worker() {
+	defer s.wg.Done()
+	for r := range s.jobs {
+		s.reg.Gauge("wavepimd.queue_depth").Add(-1)
+		s.reg.Gauge("wavepimd.active_runs").Add(1)
+		s.execute(r)
+		s.reg.Gauge("wavepimd.active_runs").Add(-1)
+	}
+}
+
+// execute runs one job end to end: build the session over the shared
+// registry plus a per-run capped tracer, wire a fresh event-log core teed
+// into a per-run flight recorder, load the plane-wave initial condition,
+// and run.
+func (s *server) execute(r *run) {
+	r.mu.Lock()
+	r.status = "running"
+	spec := r.spec
+	id := r.id
+	r.mu.Unlock()
+
+	started := time.Now()
+	sink := &obs.Sink{Reg: s.reg, Trace: obs.NewTracer().WithCap(s.traceCap)}
+	// A fresh core per run: SetRecorder is core-wide, so concurrent runs
+	// must not share one (a shared core would tee run A's events into run
+	// B's recorder). The cores share the writer; each Write is one line.
+	core := eventlog.New(s.logW, s.level)
+	fr := eventlog.NewFlightRecorder(sink.Trace, s.flightEvents, s.flightSpans)
+	core.SetRecorder(fr)
+
+	sess, q, err := buildSession(spec, id, sink, core.WithRun(id), fr)
+	if err != nil {
+		s.finish(r, sink, nil, time.Since(started).Seconds(), err)
+		return
+	}
+	loadState(sess, q)
+
+	ctx := context.Background()
+	if spec.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	runErr := sess.Run(ctx, spec.Steps)
+	s.finish(r, sink, sess, time.Since(started).Seconds(), runErr)
+}
+
+// finish records a run's terminal state and daemon-level metrics.
+func (s *server) finish(r *run, sink *obs.Sink, sess *wavepim.Session, wall float64, err error) {
+	r.mu.Lock()
+	r.sink = sink
+	r.wallSec = wall
+	if sess != nil {
+		r.report = sess.FaultReport()
+		r.dump = sess.FlightDump()
+	}
+	if err != nil {
+		r.status = "failed"
+		r.errMsg = err.Error()
+		if r.dump != nil {
+			r.reason = r.dump.Reason
+		}
+	} else {
+		r.status = "done"
+	}
+	status := r.status
+	id := r.id
+	r.mu.Unlock()
+
+	s.reg.CounterVec("wavepimd.runs", "status").With(status).Inc()
+	s.reg.Histogram("wavepimd.run_wall_seconds").Observe(wall)
+	if err != nil {
+		s.log.Error("daemon.run_failed", eventlog.Str("run", id), eventlog.Str("error", err.Error()))
+	} else {
+		s.log.Info("daemon.run_done", eventlog.Str("run", id), eventlog.F64("wall_seconds", wall))
+	}
+}
+
+// sessionState is the loaded initial condition, paired with its loader.
+type sessionState struct {
+	ac *dg.AcousticState
+	el *dg.ElasticState
+	mx *dg.MaxwellState
+}
+
+// buildSession constructs the session for a spec. The dt comes from the
+// reference solver's CFL bound, like the functional CLIs.
+func buildSession(spec jobSpec, id string, sink *obs.Sink, log *eventlog.Logger, fr *eventlog.FlightRecorder) (*wavepim.Session, sessionState, error) {
+	var st sessionState
+	eq, ok := equationOf(spec.Equation)
+	if !ok {
+		return nil, st, fmt.Errorf("unknown equation %q", spec.Equation)
+	}
+	refine, np := spec.Refine, spec.Np
+	if refine <= 0 {
+		refine = 1
+	}
+	if np <= 0 {
+		np = 4
+	}
+	cfl := spec.CFL
+	if cfl <= 0 {
+		cfl = 0.3
+	}
+	m := mesh.New(refine, np, true)
+	flux := wavepim.FluxFor(eq)
+
+	var dt float64
+	acMat := material.Acoustic{Kappa: 2.25, Rho: 1}
+	elMat := material.Elastic{Lambda: 2, Mu: 1, Rho: 1}
+	diel := material.Dielectric{Eps: 1, Mu: 1}
+	switch eq {
+	case opcount.Acoustic:
+		dt = dg.NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, acMat), flux).MaxStableDt(cfl)
+		st.ac = dg.NewAcousticState(m)
+		dg.PlaneWaveX(m, acMat, 1, st.ac)
+	case opcount.ElasticCentral, opcount.ElasticRiemann:
+		dt = dg.NewElasticSolver(m, material.UniformElastic(m.NumElem, elMat), flux).MaxStableDt(cfl)
+		st.el = dg.NewElasticState(m)
+		dg.PlaneWavePX(m, elMat, 1, st.el)
+	case opcount.Maxwell:
+		dt = dg.NewMaxwellSolver(m, diel, flux).MaxStableDt(cfl)
+		st.mx = dg.NewMaxwellState(m)
+		dg.PlaneWaveEM(m, diel, 1, st.mx)
+	}
+
+	opts := []wavepim.Option{
+		wavepim.WithEquation(eq),
+		wavepim.WithMesh(m),
+		wavepim.WithDt(dt),
+		wavepim.WithObs(sink),
+		wavepim.WithRunID(id),
+		wavepim.WithEventLog(log),
+		wavepim.WithFlightRecorder(fr),
+	}
+	if spec.Workers > 0 {
+		opts = append(opts, wavepim.WithWorkers(spec.Workers))
+	}
+	if spec.Faults != "" {
+		fcfg, err := fault.ParseSpec(spec.Faults)
+		if err != nil {
+			return nil, st, fmt.Errorf("faults spec: %w", err)
+		}
+		opts = append(opts, wavepim.WithFaults(fcfg))
+	}
+	if spec.Recover != "" {
+		rec, err := fault.ParseRecoverySpec(spec.Recover)
+		if err != nil {
+			return nil, st, fmt.Errorf("recover spec: %w", err)
+		}
+		opts = append(opts, wavepim.WithRecovery(rec))
+	}
+	sess, err := wavepim.NewSession(opts...)
+	return sess, st, err
+}
+
+func loadState(s *wavepim.Session, st sessionState) {
+	switch {
+	case st.ac != nil:
+		s.Acoustic().Load(st.ac)
+	case st.el != nil:
+		s.Elastic().Load(st.el)
+	case st.mx != nil:
+		s.Maxwell().Load(st.mx)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP layer
+// ---------------------------------------------------------------------------
+
+// handler builds the daemon's mux.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runs", s.handleSubmit)
+	mux.HandleFunc("GET /runs", s.handleList)
+	mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /runs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /runs/{id}/flight", s.handleFlight)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var spec jobSpec
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<20)).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if _, ok := equationOf(spec.Equation); !ok {
+		httpError(w, http.StatusBadRequest, "unknown equation %q", spec.Equation)
+		return
+	}
+	if spec.Steps <= 0 {
+		spec.Steps = 4
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	s.seq++
+	r := &run{id: fmt.Sprintf("r%04d", s.seq), spec: spec, status: "queued"}
+	select {
+	case s.jobs <- r:
+		s.runs[r.id] = r
+		s.order = append(s.order, r.id)
+	default:
+		s.seq--
+		s.mu.Unlock()
+		s.reg.CounterVec("wavepimd.runs", "status").With("rejected").Inc()
+		httpError(w, http.StatusServiceUnavailable, "job queue full")
+		return
+	}
+	s.mu.Unlock()
+
+	s.reg.Gauge("wavepimd.queue_depth").Add(1)
+	s.log.Info("daemon.run_queued", eventlog.Str("run", r.id), eventlog.Str("equation", spec.Equation))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": r.id})
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	views := make([]runView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.runs[id].view())
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(views)
+}
+
+func (s *server) lookup(req *http.Request) (*run, bool) {
+	s.mu.Lock()
+	r, ok := s.runs[req.PathValue("id")]
+	s.mu.Unlock()
+	return r, ok
+}
+
+func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(r.view())
+}
+
+func (s *server) handleTrace(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	r.mu.Lock()
+	sink := r.sink
+	status := r.status
+	r.mu.Unlock()
+	if sink == nil {
+		httpError(w, http.StatusConflict, "run is %s; trace not available yet", status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	sink.WriteTrace(w)
+}
+
+func (s *server) handleFlight(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	r.mu.Lock()
+	dump := r.dump
+	r.mu.Unlock()
+	if dump == nil {
+		httpError(w, http.StatusNotFound, "run has no flight dump")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	dump.WriteJSON(w)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteProm(w); err != nil {
+		// The exposition bytes are already flushed; a latched registration
+		// conflict is a programming error worth surfacing loudly in logs.
+		s.log.Error("daemon.metrics_conflict", eventlog.Str("error", err.Error()))
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	io.WriteString(w, "ok\n")
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}

@@ -1,0 +1,340 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wavepim/internal/obs/eventlog"
+)
+
+// testServer spins up a one-worker daemon with a tiny queue behind an
+// httptest listener.
+func testServer(t *testing.T, workers, queue int) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(workers, queue, 128, io.Discard, eventlog.Debug)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.drain)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// waitRun polls until the run reaches a terminal state.
+func waitRun(t *testing.T, base, id string) runView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body := getBody(t, base+"/runs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET /runs/%s: %d %s", id, code, body)
+		}
+		var v runView
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == "done" || v.Status == "failed" {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("run %s never finished", id)
+	return runView{}
+}
+
+// TestDaemonEndToEnd is the acceptance path: submit the canonical healing
+// acoustic job, wait for it, and verify the run view, the Chrome trace,
+// and the Prometheus exposition with labeled rung counters and per-phase
+// span histograms.
+func TestDaemonEndToEnd(t *testing.T) {
+	_, ts := testServer(t, 1, 8)
+
+	code, out := postJSON(t, ts.URL+"/runs",
+		`{"equation":"acoustic","steps":4,"faults":"seed=4,flip=1e-5,stuck=1e-6"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, out)
+	}
+	id := out["id"]
+	v := waitRun(t, ts.URL, id)
+	if v.Status != "done" {
+		t.Fatalf("run failed: %+v", v)
+	}
+	if v.Report.Counts.Detected == 0 || v.Report.Rollbacks == 0 {
+		t.Fatalf("canonical healing scenario shows no ladder activity: %+v", v.Report)
+	}
+	if v.Equation != "Acoustic" || v.WallSec <= 0 {
+		t.Fatalf("run view: %+v", v)
+	}
+
+	// The Chrome trace parses and has phase spans.
+	code, trace := getBody(t, ts.URL+"/runs/"+id+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace: %d", code)
+	}
+	var tr struct {
+		TraceEvents []struct{ Name string } `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(trace), &tr); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace is empty")
+	}
+
+	// The exposition carries labeled rung counters, the MTTR histogram,
+	// and per-phase span histograms.
+	code, metrics := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE sim_fault_rung_events_total counter",
+		`sim_fault_rung_events_total{rung="ecc"}`,
+		`sim_fault_rung_events_total{rung="rollback"}`,
+		"# TYPE sim_fault_mttr_seconds histogram",
+		`sim_fault_mttr_seconds_bucket{rung="rollback",le="+Inf"}`,
+		"# TYPE sim_phase_span_seconds histogram",
+		`sim_phase_span_seconds_count{kind="blocks",phase="volume"}`,
+		`sim_phase_span_seconds_count{kind="blocks",phase="flux-x+"}`,
+		`wavepimd_runs_total{status="done"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The healing run drove real rung activity into the shared registry.
+	if strings.Contains(metrics, `sim_fault_rung_events_total{rung="ecc"} 0`) {
+		t.Error("ecc rung counter still zero after a healing run")
+	}
+
+	// No flight dump on a healed run.
+	if code, _ := getBody(t, ts.URL+"/runs/"+id+"/flight"); code != http.StatusNotFound {
+		t.Fatalf("flight dump on healed run: %d", code)
+	}
+}
+
+// TestDaemonFlightDump: the unrecoverable scenario surfaces a flight dump
+// over HTTP with the failure reason and retained events.
+func TestDaemonFlightDump(t *testing.T) {
+	_, ts := testServer(t, 1, 8)
+	code, out := postJSON(t, ts.URL+"/runs",
+		`{"equation":"acoustic","steps":8,"faults":"seed=13,flip=5e-3","recover":"ecc=0,ckpt=2,rollbacks=1,blowup=10"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, out)
+	}
+	v := waitRun(t, ts.URL, out["id"])
+	if v.Status != "failed" || v.Reason != "unrecoverable" || !v.HasDump {
+		t.Fatalf("want failed+unrecoverable+dump, got %+v", v)
+	}
+	code, body := getBody(t, ts.URL+"/runs/"+out["id"]+"/flight")
+	if code != http.StatusOK {
+		t.Fatalf("flight: %d %s", code, body)
+	}
+	var dump eventlog.FlightDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("dump not JSON: %v", err)
+	}
+	if dump.Reason != "unrecoverable" || len(dump.Events) == 0 || len(dump.Spans) == 0 {
+		t.Fatalf("dump incomplete: reason=%s events=%d spans=%d",
+			dump.Reason, len(dump.Events), len(dump.Spans))
+	}
+	var sawRunError bool
+	for _, raw := range dump.Events {
+		var ev map[string]any
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			t.Fatalf("dump event not JSON: %v", err)
+		}
+		if ev["event"] == "run.error" {
+			sawRunError = true
+		}
+	}
+	if !sawRunError {
+		t.Fatal("dump events miss run.error")
+	}
+
+	// The failure is visible on the daemon counters.
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, `wavepimd_runs_total{status="failed"} 1`) {
+		t.Fatal("failed run not counted")
+	}
+}
+
+// TestDaemonValidationAndBackpressure: bad specs are 400s, an overfull
+// queue is a 503, unknown runs are 404s.
+func TestDaemonValidationAndBackpressure(t *testing.T) {
+	s, ts := testServer(t, 1, 1)
+
+	if code, _ := postJSON(t, ts.URL+"/runs", `{"equation":"warp-drive"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown equation: %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/runs", `not json`); code != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/runs", `{"faults":"seed=banana"}`); code != http.StatusAccepted {
+		// Spec-string errors surface when the job executes, not at submit.
+		t.Fatalf("submit: %d", code)
+	}
+	if code, body := getBody(t, ts.URL+"/runs/r9999"); code != http.StatusNotFound {
+		t.Fatalf("missing run: %d %s", code, body)
+	}
+
+	// Saturate: with a 1-deep queue and 1 worker, heavy-enough submits
+	// must eventually bounce with 503 (each ~50-step job holds the worker
+	// far longer than a submit round trip).
+	var saw503 bool
+	for i := 0; i < 8 && !saw503; i++ {
+		code, _ := postJSON(t, ts.URL+"/runs", `{"equation":"acoustic","steps":50}`)
+		switch code {
+		case http.StatusAccepted:
+		case http.StatusServiceUnavailable:
+			saw503 = true
+		default:
+			t.Fatalf("unexpected submit status %d", code)
+		}
+	}
+	if !saw503 {
+		t.Fatal("queue never pushed back")
+	}
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, `wavepimd_runs_total{status="rejected"}`) {
+		t.Fatal("rejected submits not counted")
+	}
+
+	// The bad fault spec fails its run with a clear error.
+	for _, id := range func() []string {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return append([]string(nil), s.order...)
+	}() {
+		v := waitRun(t, ts.URL, id)
+		if strings.Contains(v.Error, "banana") && v.Status != "failed" {
+			t.Fatalf("bad spec run: %+v", v)
+		}
+	}
+}
+
+// TestDaemonHealthAndDrain: liveness stays up, readiness flips to 503
+// once draining, and drain completes queued work.
+func TestDaemonHealthAndDrain(t *testing.T) {
+	s, ts := testServer(t, 2, 8)
+	if code, body := getBody(t, ts.URL+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	if code, body := getBody(t, ts.URL+"/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Fatalf("readyz: %d %q", code, body)
+	}
+	code, out := postJSON(t, ts.URL+"/runs", `{"equation":"maxwell","steps":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	s.drain()
+	if code, _ := getBody(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while drained: %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/runs", `{"equation":"acoustic"}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while drained: %d", code)
+	}
+	// The queued Maxwell run completed during drain.
+	code, body := getBody(t, ts.URL+"/runs/"+out["id"])
+	if code != http.StatusOK {
+		t.Fatalf("run after drain: %d", code)
+	}
+	var v runView
+	json.Unmarshal([]byte(body), &v)
+	if v.Status != "done" || v.Equation != "Maxwell" {
+		t.Fatalf("drained run: %+v", v)
+	}
+}
+
+// TestDaemonConcurrentRuns: several jobs across equations on a 2-worker
+// pool all complete, /runs lists them in submission order, and the shared
+// exposition still parses (one TYPE header per family).
+func TestDaemonConcurrentRuns(t *testing.T) {
+	_, ts := testServer(t, 2, 8)
+	specs := []string{
+		`{"equation":"acoustic","steps":2}`,
+		`{"equation":"elastic-riemann","steps":2}`,
+		`{"equation":"elastic-central","steps":2}`,
+		`{"equation":"acoustic","steps":2,"faults":"seed=4,flip=1e-5,stuck=1e-6"}`,
+	}
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		code, out := postJSON(t, ts.URL+"/runs", spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+		ids[i] = out["id"]
+	}
+	for _, id := range ids {
+		if v := waitRun(t, ts.URL, id); v.Status != "done" {
+			t.Fatalf("run %s: %+v", id, v)
+		}
+	}
+	_, body := getBody(t, ts.URL+"/runs")
+	var list []runView
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(ids) {
+		t.Fatalf("list has %d runs", len(list))
+	}
+	for i, v := range list {
+		if v.ID != ids[i] {
+			t.Fatalf("list order: %v", list)
+		}
+	}
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	seen := map[string]bool{}
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			if seen[name] {
+				t.Fatalf("duplicate TYPE %s", name)
+			}
+			seen[name] = true
+		}
+	}
+	if !seen["sim_phase_span_seconds"] {
+		t.Fatalf("missing phase histogram family: %v", seen)
+	}
+}
+
+// TestDaemonPprof: the profiling surface answers.
+func TestDaemonPprof(t *testing.T) {
+	_, ts := testServer(t, 1, 2)
+	code, body := getBody(t, ts.URL+"/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("pprof cmdline: %d %q", code, body)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
 	"wavepim/internal/obs"
+	"wavepim/internal/obs/eventlog"
 	"wavepim/internal/pim/chip"
 	"wavepim/internal/wavepim"
 )
@@ -40,12 +41,18 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the metrics registry snapshot (JSON) to this file")
 	guard := flag.Int("guard", 0, "check solver health (finiteness, norm blow-up) every N steps; 0 disables (acoustic/elastic)")
 	blowup := flag.Float64("blowup", 1e3, "health guard: allowed squared-norm growth factor over the initial state")
+	eventLogPath := flag.String("eventlog", "", "write structured JSONL run events to this file ('-' for stderr)")
 	flag.Parse()
 
 	var sink *obs.Sink
 	if *tracePath != "" || *metricsPath != "" {
 		sink = obs.NewSink()
 	}
+	log := openEventLog(*eventLogPath)
+	log.Info("solver.start",
+		eventlog.Str("equation", *eq),
+		eventlog.Int("steps", *steps),
+		eventlog.Str("flux", *fluxName))
 
 	var flux dg.FluxType
 	switch *fluxName {
@@ -97,6 +104,8 @@ func main() {
 		fmt.Printf("acoustic %s flux: dt=%.3e, t=%.4f after %d steps\n", flux, dt, tEnd, *steps)
 		fmt.Printf("  plane-wave max error: %.3e\n", worst)
 		fmt.Printf("  energy drift: %.3e (E0=%.6f E1=%.6f)\n", math.Abs(e1-e0)/e0, e0, e1)
+		log.Info("solver.result", eventlog.F64("dt", dt), eventlog.F64("t_end", tEnd),
+			eventlog.F64("max_error", worst), eventlog.F64("energy_drift", math.Abs(e1-e0)/e0))
 	case "elastic":
 		mat := material.Elastic{Lambda: 2, Mu: 1, Rho: 1}
 		s := dg.NewElasticSolver(m, material.UniformElastic(m.NumElem, mat), flux)
@@ -132,6 +141,8 @@ func main() {
 			flux, dt, tEnd, *steps, mat.PWaveSpeed(), mat.SWaveSpeed())
 		fmt.Printf("  P-wave max error: %.3e\n", worst)
 		fmt.Printf("  energy drift: %.3e (E0=%.6f E1=%.6f)\n", math.Abs(e1-e0)/e0, e0, e1)
+		log.Info("solver.result", eventlog.F64("dt", dt), eventlog.F64("t_end", tEnd),
+			eventlog.F64("max_error", worst), eventlog.F64("energy_drift", math.Abs(e1-e0)/e0))
 	case "maxwell":
 		if *guard > 0 {
 			fmt.Fprintln(os.Stderr, "-guard is not supported for maxwell (no guarded integrator)")
@@ -162,6 +173,8 @@ func main() {
 			flux, dt, tEnd, *steps, mat.LightSpeed(), mat.Impedance())
 		fmt.Printf("  EM plane-wave max error: %.3e\n", worst)
 		fmt.Printf("  energy drift: %.3e (E0=%.6f E1=%.6f)\n", math.Abs(e1-e0)/e0, e0, e1)
+		log.Info("solver.result", eventlog.F64("dt", dt), eventlog.F64("t_end", tEnd),
+			eventlog.F64("max_error", worst), eventlog.F64("energy_drift", math.Abs(e1-e0)/e0))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown equation %q\n", *eq)
 		os.Exit(2)
@@ -193,10 +206,30 @@ func main() {
 	}
 	fmt.Printf("pim %s on PIM-16GB: %.4fs total, %.2f J (stage pipeline traced)\n",
 		b.Name(), res.TotalSec, res.EnergyJ)
+	log.Info("pim.run", eventlog.Str("bench", b.Name()),
+		eventlog.F64("total_seconds", res.TotalSec), eventlog.F64("energy_joules", res.EnergyJ))
 	if err := writeObs(sink, *tracePath, *metricsPath); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}
+}
+
+// openEventLog opens the -eventlog destination: "" disables (nil logger,
+// every emit no-ops), "-" is stderr, anything else a file that stays open
+// for the process lifetime.
+func openEventLog(path string) *eventlog.Logger {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return eventlog.New(os.Stderr, eventlog.Debug)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return eventlog.New(f, eventlog.Debug)
 }
 
 // writeObs exports the sink to the requested files.

@@ -194,6 +194,35 @@ func (h *Histogram) Max() float64 {
 	return math.Float64frombits(h.maxBits.Load())
 }
 
+// BucketCounts returns the per-bucket observation counts (all zero for
+// nil). Bucket i's inclusive upper bound is HistogramUpperBounds()[i];
+// the last bucket is unbounded.
+func (h *Histogram) BucketCounts() [histBuckets]int64 {
+	var out [histBuckets]int64
+	if h == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// HistogramUpperBounds returns the inclusive upper bounds of the fixed
+// exponential bucket layout. The final bucket's bound is +Inf. Bounds are
+// computed with math.Pow10 (table-exact) rather than histBase*Pow(10, i),
+// which rounds some decades to 9.999...e-06 and would leak ugly `le`
+// values into the exposition.
+func HistogramUpperBounds() [histBuckets]float64 {
+	var ubs [histBuckets]float64
+	baseExp := int(math.Round(math.Log10(histBase)))
+	for i := 0; i < histBuckets-1; i++ {
+		ubs[i] = math.Pow10(baseExp + i)
+	}
+	ubs[histBuckets-1] = math.Inf(1)
+	return ubs
+}
+
 // Registry maps names to instruments. The zero value is not usable; call
 // NewRegistry. A nil *Registry hands out nil instruments, so lookups
 // against an absent registry compose with the nil-safe instrument methods.
@@ -202,25 +231,45 @@ type Registry struct {
 	ctrs   map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+
+	// Labeled families (vec.go).
+	ctrVecs   map[string]*CounterVec
+	gaugeVecs map[string]*GaugeVec
+	histVecs  map[string]*HistogramVec
+
+	// kinds maps every registered name to its instrument kind; conflicts
+	// latches the typed error of each rejected registration (see
+	// KindConflictError / LabelMismatchError in vec.go).
+	kinds     map[string]string
+	conflicts map[string]error
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		ctrs:   make(map[string]*Counter),
-		gauges: make(map[string]*Gauge),
-		hists:  make(map[string]*Histogram),
+		ctrs:      make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		ctrVecs:   make(map[string]*CounterVec),
+		gaugeVecs: make(map[string]*GaugeVec),
+		histVecs:  make(map[string]*HistogramVec),
+		kinds:     make(map[string]string),
+		conflicts: make(map[string]error),
 	}
 }
 
 // Counter returns (creating if needed) the named counter; nil from a nil
-// registry.
+// registry, and nil (with a latched KindConflictError) when the name is
+// already registered as another kind.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if !r.registerKind(name, "counter") {
+		return nil
+	}
 	c, ok := r.ctrs[name]
 	if !ok {
 		c = &Counter{}
@@ -230,13 +279,16 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // Gauge returns (creating if needed) the named gauge; nil from a nil
-// registry.
+// registry or on a kind conflict (latched as a typed error).
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if !r.registerKind(name, "gauge") {
+		return nil
+	}
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
@@ -246,13 +298,16 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns (creating if needed) the named histogram; nil from a
-// nil registry.
+// nil registry or on a kind conflict (latched as a typed error).
 func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if !r.registerKind(name, "histogram") {
+		return nil
+	}
 	h, ok := r.hists[name]
 	if !ok {
 		h = &Histogram{}
@@ -279,7 +334,10 @@ type Snapshot struct {
 }
 
 // Snapshot copies the registry's current values. Safe on a nil registry
-// (returns empty maps).
+// (returns empty maps). Vec children appear under `name{k="v",...}` keys
+// with label sets rendered in registered key order — combined with
+// encoding/json's sorted map-key marshaling, snapshot output is fully
+// deterministic for labeled and unlabeled instruments alike.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   map[string]int64{},
@@ -298,23 +356,48 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		s.Histograms[name] = HistogramSnapshot{
-			Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(), Min: h.Min(), Max: h.Max(),
+		s.Histograms[name] = histSnapshot(h)
+	}
+	for name, cv := range r.ctrVecs {
+		for _, c := range cv.v.children() {
+			s.Counters[name+labelString(cv.v.keys, c.values)] = c.inst.Value()
+		}
+	}
+	for name, gv := range r.gaugeVecs {
+		for _, c := range gv.v.children() {
+			s.Gauges[name+labelString(gv.v.keys, c.values)] = c.inst.Value()
+		}
+	}
+	for name, hv := range r.histVecs {
+		for _, c := range hv.v.children() {
+			s.Histograms[name+labelString(hv.v.keys, c.values)] = histSnapshot(c.inst)
 		}
 	}
 	return s
 }
 
+func histSnapshot(h *Histogram) HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(), Min: h.Min(), Max: h.Max(),
+	}
+}
+
 // WriteJSON writes the registry snapshot as indented JSON with sorted
 // keys (encoding/json sorts map keys, so the output is deterministic).
+// It returns the registry's latched registration errors (Err) if any —
+// a conflicted registry cannot be exported silently.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Snapshot())
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		return err
+	}
+	return r.Err()
 }
 
 // Names returns the sorted instrument names of one kind ("counter",
-// "gauge", "histogram") — a test and reporting convenience.
+// "gauge", "histogram", "countervec", "gaugevec", "histogramvec") — a
+// test and reporting convenience.
 func (r *Registry) Names(kind string) []string {
 	if r == nil {
 		return nil
@@ -333,6 +416,18 @@ func (r *Registry) Names(kind string) []string {
 		}
 	case "histogram":
 		for n := range r.hists {
+			out = append(out, n)
+		}
+	case "countervec":
+		for n := range r.ctrVecs {
+			out = append(out, n)
+		}
+	case "gaugevec":
+		for n := range r.gaugeVecs {
+			out = append(out, n)
+		}
+	case "histogramvec":
+		for n := range r.histVecs {
 			out = append(out, n)
 		}
 	default:

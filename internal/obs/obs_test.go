@@ -67,13 +67,13 @@ func TestHistogram(t *testing.T) {
 	if h.Count() != 4 {
 		t.Errorf("count = %d", h.Count())
 	}
-	if !close(h.Sum(), 1e-9+2e-9+5e-3+1.5) {
+	if !approxEq(h.Sum(), 1e-9+2e-9+5e-3+1.5) {
 		t.Errorf("sum = %v", h.Sum())
 	}
 	if h.Min() != 1e-9 || h.Max() != 1.5 {
 		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
 	}
-	if !close(h.Mean(), h.Sum()/4) {
+	if !approxEq(h.Mean(), h.Sum()/4) {
 		t.Errorf("mean = %v", h.Mean())
 	}
 }
@@ -187,6 +187,6 @@ func TestChromeTraceExport(t *testing.T) {
 	}
 }
 
-func close(a, b float64) bool {
+func approxEq(a, b float64) bool {
 	return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
 }

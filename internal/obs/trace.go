@@ -23,21 +23,58 @@ func (s Span) End() float64 { return s.Start + s.Dur }
 
 // Tracer records spans. A nil *Tracer discards everything. Safe for
 // concurrent use.
+//
+// By default a tracer grows without bound (the right mode for golden-trace
+// tests and short runs, where every span matters). WithCap switches it to
+// a fixed-capacity ring that keeps only the most recent spans — the mode
+// long-running services use so a week of scraping cannot grow RSS.
 type Tracer struct {
-	mu    sync.Mutex
-	spans []Span
+	mu      sync.Mutex
+	spans   []Span
+	cap     int   // 0: unbounded append mode; >0: ring of this size
+	start   int   // ring mode: index of the oldest span
+	dropped int64 // ring mode: spans overwritten so far
 }
 
-// NewTracer creates an empty tracer.
+// NewTracer creates an empty, unbounded tracer.
 func NewTracer() *Tracer { return &Tracer{} }
 
-// Record appends a completed span. No-op on a nil tracer.
+// WithCap bounds the tracer to a ring of the n most recent spans (n <= 0
+// restores unbounded mode) and returns the tracer for chaining:
+//
+//	tr := obs.NewTracer().WithCap(4096)
+//
+// Switching modes resets recorded spans.
+func (t *Tracer) WithCap(n int) *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	t.cap = n
+	t.spans = nil
+	t.start = 0
+	t.dropped = 0
+	t.mu.Unlock()
+	return t
+}
+
+// Record appends a completed span. No-op on a nil tracer. In ring mode,
+// once the ring is full each new span overwrites the oldest one.
 func (t *Tracer) Record(s Span) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	t.spans = append(t.spans, s)
+	if t.cap > 0 && len(t.spans) == t.cap {
+		t.spans[t.start] = s
+		t.start = (t.start + 1) % t.cap
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, s)
+	}
 	t.mu.Unlock()
 }
 
@@ -46,7 +83,8 @@ func (t *Tracer) Span(name, cat string, start, dur float64, track int) {
 	t.Record(Span{Name: name, Cat: cat, Start: start, Dur: dur, Track: track})
 }
 
-// Spans returns a copy of the recorded spans in record order.
+// Spans returns a copy of the recorded spans in record order (in ring
+// mode: oldest retained first).
 func (t *Tracer) Spans() []Span {
 	if t == nil {
 		return nil
@@ -54,8 +92,34 @@ func (t *Tracer) Spans() []Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]Span, len(t.spans))
-	copy(out, t.spans)
+	if t.start == 0 {
+		copy(out, t.spans)
+	} else {
+		n := copy(out, t.spans[t.start:])
+		copy(out[n:], t.spans[:t.start])
+	}
 	return out
+}
+
+// Tail returns the most recent n spans in record order (all of them when
+// fewer are retained) — the span half of a flight-recorder snapshot.
+func (t *Tracer) Tail(n int) []Span {
+	all := t.Spans()
+	if n <= 0 || len(all) <= n {
+		return all
+	}
+	return all[len(all)-n:]
+}
+
+// Dropped reports how many spans the ring has overwritten (0 in
+// unbounded mode or for nil).
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Len returns the number of recorded spans (0 for nil).
@@ -68,13 +132,15 @@ func (t *Tracer) Len() int {
 	return len(t.spans)
 }
 
-// Reset drops all recorded spans.
+// Reset drops all recorded spans (keeping the configured cap mode).
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	t.spans = nil
+	t.start = 0
+	t.dropped = 0
 	t.mu.Unlock()
 }
 

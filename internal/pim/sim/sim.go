@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"wavepim/internal/obs"
+	"wavepim/internal/obs/eventlog"
 	"wavepim/internal/params"
 	"wavepim/internal/pim/chip"
 	"wavepim/internal/pim/fault"
@@ -68,6 +70,12 @@ type Engine struct {
 	// energies, worker-pool occupancy). Nil disables all instrumentation;
 	// the nil path is the uninstrumented hot path.
 	Obs *obs.Sink
+
+	// Log, when non-nil, receives structured events: one per recovery
+	// rung firing (with block, rung, and simulated-time cost). Nil is
+	// the silent path. Rung events are emitted from the deterministic
+	// post-merge section, so their order is stable across worker counts.
+	Log *eventlog.Logger
 
 	// Faults, when non-nil, enables the fault-injection recovery ladder
 	// in functional mode: after every block phase the engine scrubs
@@ -165,6 +173,14 @@ func (e *Engine) commit(p Phase, start float64) Phase {
 		e.Obs.Counter("sim.phase.count." + p.Kind).Inc()
 		e.Obs.Histogram("sim.phase.seconds." + p.Kind).Observe(p.Dur)
 		e.Obs.Histogram("sim.phase.energy_joules." + p.Kind).Observe(p.EnergyJ)
+		// Labeled twins of the per-kind series: one histogram family per
+		// phase name. Both label values are drawn from small enumerated
+		// sets (phase names are compiler-fixed kernel stages), so the
+		// exposition cardinality stays bounded (DESIGN.md §10).
+		e.Obs.HistogramVec("sim.phase.span_seconds", "kind", "phase").
+			With(p.Kind, p.Name).Observe(p.Dur)
+		e.Obs.CounterVec("sim.phase.spans", "kind", "phase").
+			With(p.Kind, p.Name).Inc()
 		e.Obs.Gauge("sim.clock_seconds").Set(e.clock)
 		e.Obs.Gauge("sim.total_energy_joules").Set(e.TotalEnergy)
 	}
@@ -478,6 +494,21 @@ func (e *Engine) ExecBlocksCtx(ctx context.Context, name string, progs map[int][
 				}
 			}
 		}
+		// Per-block rung telemetry, emitted in ascending block order so
+		// event streams and labeled counters are deterministic across
+		// worker counts. MTTR = the simulated time one repair took.
+		for i := range costs {
+			c := &costs[i]
+			if c.detected > 0 {
+				e.noteRung("ecc", ids[i], c.scrubSec,
+					eventlog.Int64("detected", c.detected),
+					eventlog.Int64("corrected", c.corrected))
+			}
+			if c.retries > 0 {
+				e.noteRung("retry", ids[i], c.retrySec,
+					eventlog.Int64("retries", c.retries))
+			}
+		}
 		if len(failed) > 0 {
 			e.remapFailed(failed)
 		}
@@ -559,6 +590,39 @@ func progRetriable(blockID int, prog []isa.Instr) bool {
 	return true
 }
 
+// noteRung records one recovery-rung firing on one block: a structured
+// event (block, rung, simulated-time cost) plus the rung-labeled counter
+// and MTTR histogram. rung is one of "ecc", "retry", "remap" (the engine
+// rungs); the Session adds "rollback".
+func (e *Engine) noteRung(rung string, block int, costSec float64, extra ...eventlog.Field) {
+	if e.Obs != nil {
+		e.Obs.CounterVec("sim.fault.rung_events", "rung").With(rung).Inc()
+		e.Obs.HistogramVec("sim.fault.mttr_seconds", "rung").With(rung).Observe(costSec)
+		e.Obs.CounterVec("sim.fault.block_events", "block").With(BlockLabel(block)).Inc()
+	}
+	if e.Log != nil {
+		fields := append([]eventlog.Field{
+			eventlog.Str("rung", rung),
+			eventlog.Int("block", block),
+			eventlog.F64("cost_seconds", costSec),
+		}, extra...)
+		e.Log.Info("fault.rung", fields...)
+	}
+}
+
+// blockLabelCap bounds the cardinality of block-indexed metric labels:
+// blocks past the cap share one overflow label (events still carry the
+// exact id). See DESIGN.md §10 for the cardinality rules.
+const blockLabelCap = 32
+
+// BlockLabel renders a block id as a cardinality-capped label value.
+func BlockLabel(id int) string {
+	if id < blockLabelCap {
+		return strconv.Itoa(id)
+	}
+	return "overflow"
+}
+
 // remapFailed migrates blocks that stayed uncorrectable after the retry
 // budget onto spare blocks: the spare receives an ECC-corrected copy of
 // every word, the chip's logical->physical table redirects the id, and the
@@ -569,6 +633,11 @@ func (e *Engine) remapFailed(failed []int) {
 		if e.sparesUsed >= len(e.SparePool) {
 			if e.err == nil {
 				e.err = fmt.Errorf("sim: block %d uncorrectable after retries: %w", logical, fault.ErrNoSpares)
+			}
+			if e.Log != nil {
+				e.Log.Error("fault.no_spares",
+					eventlog.Int("block", logical),
+					eventlog.Int("spares_used", e.sparesUsed))
 			}
 			return
 		}
@@ -595,6 +664,7 @@ func (e *Engine) remapFailed(failed []int) {
 		if e.Obs != nil {
 			e.Obs.Counter("sim.fault.remaps").Inc()
 		}
+		e.noteRung("remap", logical, sec, eventlog.Int("spare", spare))
 	}
 }
 

@@ -1,0 +1,188 @@
+package wavepim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"wavepim/internal/obs"
+	"wavepim/internal/obs/eventlog"
+	"wavepim/internal/pim/fault"
+)
+
+// flightHarness wires the full telemetry stack the way wavepimd does:
+// a sink with a capped tracer, an event logger teed into a flight
+// recorder built over that tracer, plus a dump writer.
+type flightHarness struct {
+	sink    *obs.Sink
+	logOut  bytes.Buffer
+	dumpOut bytes.Buffer
+	opts    []Option
+}
+
+func newFlightHarness(runID string) *flightHarness {
+	h := &flightHarness{sink: &obs.Sink{Reg: obs.NewRegistry(), Trace: obs.NewTracer().WithCap(64)}}
+	log := eventlog.New(&h.logOut, eventlog.Debug)
+	log.SetClock(func() time.Time { return time.Unix(0, 42).UTC() })
+	fr := eventlog.NewFlightRecorder(h.sink.Trace, 32, 16)
+	log.SetRecorder(fr)
+	h.opts = []Option{
+		WithObs(h.sink),
+		WithRunID(runID),
+		WithEventLog(log.WithRun(runID)),
+		WithFlightRecorder(fr),
+		WithFlightDump(&h.dumpOut),
+	}
+	return h
+}
+
+// TestFlightDumpOnUnrecoverable: the canonical unrecoverable scenario
+// (ECC off, aggressive flips, rollback budget 1) must automatically
+// produce a flight dump carrying the recent events and span tail.
+func TestFlightDumpOnUnrecoverable(t *testing.T) {
+	rec := fault.DefaultRecovery()
+	rec.ECC = false
+	rec.CheckpointEvery = 2
+	rec.MaxRollbacks = 1
+	rec.BlowupFactor = 10
+	h := newFlightHarness("r-unrec")
+	s := sessionForTest(t, append(h.opts,
+		WithFaults(fault.Config{Seed: 13, FlipProb: 5e-3}),
+		WithRecovery(rec))...)
+
+	err := s.Run(context.Background(), 8)
+	if !errors.Is(err, fault.ErrUnrecoverable) {
+		t.Fatalf("want ErrUnrecoverable, got %v", err)
+	}
+
+	d := s.FlightDump()
+	if d == nil {
+		t.Fatal("no automatic flight dump after ErrUnrecoverable")
+	}
+	if d.Reason != "unrecoverable" {
+		t.Fatalf("dump reason = %q, want unrecoverable", d.Reason)
+	}
+	if d.Run != "r-unrec" {
+		t.Fatalf("dump run = %q, want r-unrec", d.Run)
+	}
+	if len(d.Events) == 0 {
+		t.Fatal("dump has no events")
+	}
+	if len(d.Spans) == 0 {
+		t.Fatal("dump has no spans")
+	}
+	if len(d.Spans) > 16 {
+		t.Fatalf("span tail exceeds recorder cap: %d", len(d.Spans))
+	}
+
+	// Every retained event must be a standalone JSON object, and the tail
+	// must include the rollback rung and the run.error classification.
+	var sawRollback, sawError bool
+	for _, raw := range d.Events {
+		var ev map[string]any
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			t.Fatalf("unparseable event %s: %v", raw, err)
+		}
+		if ev["run"] != "r-unrec" {
+			t.Fatalf("event missing run id: %s", raw)
+		}
+		switch ev["event"] {
+		case "fault.rung":
+			if ev["rung"] == "rollback" {
+				sawRollback = true
+			}
+		case "run.error":
+			sawError = true
+			if ev["reason"] != "unrecoverable" {
+				t.Fatalf("run.error reason = %v", ev["reason"])
+			}
+		}
+	}
+	if !sawRollback {
+		t.Fatal("dump events miss the rollback fault.rung")
+	}
+	if !sawError {
+		t.Fatal("dump events miss run.error")
+	}
+
+	// The dump writer got valid JSON, and the JSONL stream stayed parseable.
+	var onDisk eventlog.FlightDump
+	if err := json.Unmarshal(h.dumpOut.Bytes(), &onDisk); err != nil {
+		t.Fatalf("WithFlightDump output unparseable: %v", err)
+	}
+	if onDisk.Reason != "unrecoverable" || len(onDisk.Events) != len(d.Events) {
+		t.Fatalf("serialized dump disagrees with FlightDump(): %+v", onDisk)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(h.logOut.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+	}
+
+	// Labeled rung telemetry: the rollback rung fired once and its MTTR
+	// was observed.
+	snap := h.sink.Reg.Snapshot()
+	if got := snap.Counters[`sim.fault.rung_events{rung="rollback"}`]; got != int64(rec.MaxRollbacks) {
+		t.Fatalf("rollback rung counter = %d, want %d (counters: %v)", got, rec.MaxRollbacks, snap.Counters)
+	}
+	if hs := snap.Histograms[`sim.fault.mttr_seconds{rung="rollback"}`]; hs.Count != int64(rec.MaxRollbacks) {
+		t.Fatalf("rollback MTTR count = %d (histograms: %v)", hs.Count, snap.Histograms)
+	}
+}
+
+// TestFlightDumpOnDeadline: an expired context deadline is a
+// dump-triggering failure with reason "deadline".
+func TestFlightDumpOnDeadline(t *testing.T) {
+	h := newFlightHarness("r-dl")
+	s := sessionForTest(t, h.opts...)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	var dl *ErrDeadline
+	if err := s.Run(ctx, 4); !errors.As(err, &dl) {
+		t.Fatalf("want *ErrDeadline, got %v", err)
+	}
+	d := s.FlightDump()
+	if d == nil || d.Reason != "deadline" {
+		t.Fatalf("want deadline dump, got %+v", d)
+	}
+}
+
+// TestNoFlightDumpOnCleanRun: success leaves no dump behind and emits
+// run.start then run.end.
+func TestNoFlightDumpOnCleanRun(t *testing.T) {
+	h := newFlightHarness("r-ok")
+	s := sessionForTest(t, h.opts...)
+	if err := s.Run(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.FlightDump() != nil {
+		t.Fatal("clean run produced a flight dump")
+	}
+	out := h.logOut.String()
+	if !strings.Contains(out, `"event":"run.start"`) || !strings.Contains(out, `"event":"run.end"`) {
+		t.Fatalf("missing run lifecycle events:\n%s", out)
+	}
+	if h.dumpOut.Len() != 0 {
+		t.Fatal("dump writer written on a clean run")
+	}
+}
+
+// TestNoFlightDumpOnCancel: plain cancellation is not a failure the
+// recorder should snapshot.
+func TestNoFlightDumpOnCancel(t *testing.T) {
+	h := newFlightHarness("r-cancel")
+	s := sessionForTest(t, h.opts...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Run(ctx, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if s.FlightDump() != nil {
+		t.Fatal("cancellation produced a flight dump")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
 	"wavepim/internal/obs"
+	"wavepim/internal/obs/eventlog"
 	"wavepim/internal/pim/chip"
 	"wavepim/internal/pim/fault"
 	"wavepim/internal/pim/sim"
@@ -40,6 +41,10 @@ type Session struct {
 	ac *FunctionalAcoustic
 	el *FunctionalElastic
 	mx *FunctionalMaxwell
+
+	// lastDump is the most recent automatic flight-recorder snapshot
+	// (nil until a run fails with a dump-triggering error).
+	lastDump *eventlog.FlightDump
 }
 
 type sessionConfig struct {
@@ -57,6 +62,11 @@ type sessionConfig struct {
 
 	faults   *fault.Config
 	recovery *fault.Recovery
+
+	runID    string
+	log      *eventlog.Logger
+	flight   *eventlog.FlightRecorder
+	flightTo io.Writer
 }
 
 // Option configures a Session (functional-options style).
@@ -140,6 +150,37 @@ func WithRecovery(rec fault.Recovery) Option {
 	return func(c *sessionConfig) { c.recovery = &rec }
 }
 
+// WithRunID names the run for event-log attribution and flight dumps
+// (wavepimd uses its run ids; CLI runs may leave it empty).
+func WithRunID(id string) Option {
+	return func(c *sessionConfig) { c.runID = id }
+}
+
+// WithEventLog attaches a structured event logger: the session emits
+// run.start / run.end / run.error events, and the engine emits one event
+// per recovery-rung firing. A nil logger (or omitting the option) keeps
+// the silent path.
+func WithEventLog(l *eventlog.Logger) Option {
+	return func(c *sessionConfig) { c.log = l }
+}
+
+// WithFlightRecorder attaches a flight recorder. When Run fails with
+// fault.ErrNoSpares, fault.ErrUnrecoverable, or an exceeded deadline, the
+// session automatically snapshots the recorder (last events + spans);
+// the dump is readable via FlightDump and, when WithFlightDump was also
+// given, written as JSON to that writer. Tee the recorder into the event
+// logger (Logger.SetRecorder) and build it over the session's tracer to
+// capture both halves.
+func WithFlightRecorder(fr *eventlog.FlightRecorder) Option {
+	return func(c *sessionConfig) { c.flight = fr }
+}
+
+// WithFlightDump sets the writer automatic flight dumps are serialized to
+// (in addition to being retained on the session).
+func WithFlightDump(w io.Writer) Option {
+	return func(c *sessionConfig) { c.flightTo = w }
+}
+
 // NewSession builds the chip, engine, and compiled solver for one equation.
 func NewSession(opts ...Option) (*Session, error) {
 	cfg := sessionConfig{
@@ -201,6 +242,7 @@ func NewSession(opts ...Option) (*Session, error) {
 		s.eng.Workers = cfg.workers
 	}
 	s.eng.Obs = cfg.sink
+	s.eng.Log = cfg.log
 	if cfg.faults != nil || cfg.recovery != nil {
 		if err := s.setupFaults(); err != nil {
 			return nil, err
@@ -336,7 +378,80 @@ type fieldCheckpoint struct {
 // healthy checkpoint and a re-run of the damaged span, up to MaxRollbacks
 // (then fault.ErrUnrecoverable). On a clean finish it publishes the
 // engine and chip totals to the attached sink.
+//
+// With WithEventLog the run emits run.start / run.end / run.error events;
+// with WithFlightRecorder a failure the ladder could not heal (ErrNoSpares,
+// ErrUnrecoverable) or an exceeded deadline automatically snapshots the
+// recorder (see FlightDump).
 func (s *Session) Run(ctx context.Context, n int) error {
+	if l := s.cfg.log; l != nil {
+		l.Info("run.start",
+			eventlog.Str("equation", s.cfg.eq.String()),
+			eventlog.Int("steps", n))
+	}
+	err := s.runSteps(ctx, n)
+	s.finishRun(err)
+	return err
+}
+
+// finishRun emits the run-terminating event and, for failures the
+// recovery ladder could not absorb, snapshots the flight recorder.
+func (s *Session) finishRun(err error) {
+	l := s.cfg.log
+	if err == nil {
+		if l != nil {
+			l.Info("run.end",
+				eventlog.F64("sim_seconds", s.eng.TotalTime()),
+				eventlog.F64("energy_joules", s.eng.TotalEnergy))
+		}
+		return
+	}
+	reason := dumpReason(err)
+	if l != nil {
+		kind := reason
+		if kind == "" {
+			kind = "canceled"
+		}
+		l.Error("run.error",
+			eventlog.Str("reason", kind),
+			eventlog.Str("error", err.Error()))
+	}
+	if reason == "" || s.cfg.flight == nil {
+		return
+	}
+	s.lastDump = s.cfg.flight.Dump(reason, s.cfg.runID)
+	if s.cfg.flightTo != nil {
+		s.lastDump.WriteJSON(s.cfg.flightTo)
+	}
+	if l != nil {
+		l.Error("flight.dump",
+			eventlog.Str("reason", reason),
+			eventlog.Int("events", len(s.lastDump.Events)),
+			eventlog.Int("spans", len(s.lastDump.Spans)))
+	}
+}
+
+// dumpReason classifies run errors that warrant a flight dump; plain
+// cancellation returns "".
+func dumpReason(err error) string {
+	var dl *ErrDeadline
+	switch {
+	case errors.Is(err, fault.ErrNoSpares):
+		return "no_spares"
+	case errors.Is(err, fault.ErrUnrecoverable):
+		return "unrecoverable"
+	case errors.As(err, &dl):
+		return "deadline"
+	}
+	return ""
+}
+
+// FlightDump returns the most recent automatic flight-recorder snapshot,
+// or nil if no run has failed with a dump-triggering error.
+func (s *Session) FlightDump() *eventlog.FlightDump { return s.lastDump }
+
+// runSteps is the stepping loop behind Run.
+func (s *Session) runSteps(ctx context.Context, n int) error {
 	s.eng.SetContext(ctx)
 	defer s.eng.SetContext(nil)
 
@@ -375,7 +490,18 @@ func (s *Session) Run(ctx context.Context, n int) error {
 				s.eng.Faults.NoteRollback()
 			}
 			s.restoreState(ck)
-			s.chargeCheckpoint("sim.fault.rollback")
+			ph := s.chargeCheckpoint("sim.fault.rollback")
+			if sink := s.cfg.sink; sink != nil {
+				sink.CounterVec("sim.fault.rung_events", "rung").With("rollback").Inc()
+				sink.HistogramVec("sim.fault.mttr_seconds", "rung").With("rollback").Observe(ph.Dur)
+			}
+			if s.cfg.log != nil {
+				s.cfg.log.Warn("fault.rung",
+					eventlog.Str("rung", "rollback"),
+					eventlog.Int("step", i),
+					eventlog.Int("back_to", ck.step),
+					eventlog.F64("cost_seconds", ph.Dur))
+			}
 			i = ck.step
 			continue
 		}
@@ -442,8 +568,8 @@ func (s *Session) restoreState(ck fieldCheckpoint) {
 
 // chargeCheckpoint accounts a checkpoint store (or rollback load+rewrite)
 // as an off-chip DRAM transaction of the state's size on the simulated
-// timeline.
-func (s *Session) chargeCheckpoint(name string) {
+// timeline, returning the committed phase (its Dur is the rung's cost).
+func (s *Session) chargeCheckpoint(name string) sim.Phase {
 	nvars := 4 // acoustic
 	switch {
 	case s.el != nil:
@@ -452,7 +578,7 @@ func (s *Session) chargeCheckpoint(name string) {
 		nvars = 6
 	}
 	bytes := int64(s.cfg.mesh.NumElem*s.cfg.mesh.NodesPerEl*nvars) * 4
-	s.eng.Sequence(s.eng.ExecDRAM(name, bytes))
+	return s.eng.Sequence(s.eng.ExecDRAM(name, bytes))
 }
 
 // FaultReport returns the per-run fault summary (zero value when the
