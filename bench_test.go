@@ -317,9 +317,13 @@ func BenchmarkMaxwellExtension(b *testing.B) {
 
 // benchFP32Operands builds a reproducible 64-lane operand batch covering
 // normal, subnormal and large-exponent inputs.
-func benchFP32Operands() (a, b []uint32) {
-	a = make([]uint32, nor.Lanes)
-	b = make([]uint32, nor.Lanes)
+func benchFP32Operands() (a, b []uint32) { return benchFP32OperandsN(nor.Lanes) }
+
+// benchFP32OperandsN is benchFP32Operands at an arbitrary batch size (the
+// slab benchmarks use nor.DefaultSlabWords full slabs).
+func benchFP32OperandsN(n int) (a, b []uint32) {
+	a = make([]uint32, n)
+	b = make([]uint32, n)
 	x := uint32(0x2545F491)
 	for i := range a {
 		x ^= x << 13
@@ -377,6 +381,32 @@ func BenchmarkNORFp32AddSliced(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.AddFP32Lanes(av, bv)
+	}
+}
+
+// BenchmarkNORFp32MulSlab and BenchmarkNORFp32AddSlab run the multi-slab
+// substrate at its default width. One iteration processes
+// DefaultSlabWords*64 operand pairs (DefaultSlabWords x the scalar/sliced
+// benchmarks' 64), so the per-op speedup over the scalar bench is
+// scalar_ns * DefaultSlabWords / slab_ns — the derivation
+// scripts/bench_trajectory.sh performs.
+func BenchmarkNORFp32MulSlab(b *testing.B) {
+	av, bv := benchFP32OperandsN(nor.DefaultSlabWords * nor.Lanes)
+	c := nor.NewSlabCircuit(nor.DefaultSlabWords)
+	out := make([]uint32, len(av))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MulFP32Batch(av, bv, out)
+	}
+}
+
+func BenchmarkNORFp32AddSlab(b *testing.B) {
+	av, bv := benchFP32OperandsN(nor.DefaultSlabWords * nor.Lanes)
+	c := nor.NewSlabCircuit(nor.DefaultSlabWords)
+	out := make([]uint32, len(av))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AddFP32Batch(av, bv, out)
 	}
 }
 

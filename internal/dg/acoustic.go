@@ -117,6 +117,9 @@ type AcousticSolver struct {
 	// Obs, when non-nil, records per-stage RHS timings and parallel-range
 	// utilization (see parallel.go). Nil keeps the uninstrumented path.
 	Obs *obs.Sink
+	// Tuning controls the adaptive serial/parallel dispatch of RHSParallel
+	// (see parallel.go). The zero value uses the measured defaults.
+	Tuning ParallelTuning
 
 	scratch    [4][]float64 // per-element work arrays
 	parScratch []acousticScratch
@@ -141,6 +144,12 @@ func (s *AcousticSolver) RHS(q, rhs *AcousticState) {
 		s.RHSParallel(q, rhs, s.Workers)
 		return
 	}
+	s.rhsSerial(q, rhs)
+}
+
+// rhsSerial is the unpooled RHS body, shared by RHS and the adaptive
+// below-threshold fallback in RHSParallel.
+func (s *AcousticSolver) rhsSerial(q, rhs *AcousticState) {
 	if s.Obs != nil {
 		defer observeSerialRHS(s.Obs, "acoustic", time.Now())
 	}

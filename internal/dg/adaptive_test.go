@@ -1,0 +1,185 @@
+package dg
+
+import (
+	"math"
+	"testing"
+	"time"
+	"unsafe"
+
+	"wavepim/internal/material"
+	"wavepim/internal/mesh"
+)
+
+// Regression for the BENCH_pr5.json pessimization: at the benchmark sizes
+// used there (mesh.New(2, 6, true) — 64 elements, np=6) the parallel RHS
+// lost to serial for all three equations, so the default tuning must
+// dispatch those meshes serial (EffectiveWorkers == 1 ⇒ RHSParallel runs
+// the identical serial path, which is trivially "parallel >= serial").
+func TestAdaptiveBenchMeshesDispatchSerial(t *testing.T) {
+	m := mesh.New(2, 6, true) // the BENCH_pr5/BENCH_pr6 RHS benchmark mesh
+	ac := NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, waterLike), RiemannFlux)
+	el := NewElasticSolver(m, material.UniformElastic(m.NumElem, rockLike), RiemannFlux)
+	mx := NewMaxwellSolver(m, material.Vacuum, RiemannFlux)
+	for _, workers := range []int{2, 4, 8, 64} {
+		if w := ac.EffectiveWorkers(workers); w != 1 {
+			t.Errorf("acoustic bench mesh: EffectiveWorkers(%d) = %d, want 1 (serial dispatch)", workers, w)
+		}
+		if w := el.EffectiveWorkers(workers); w != 1 {
+			t.Errorf("elastic bench mesh: EffectiveWorkers(%d) = %d, want 1 (serial dispatch)", workers, w)
+		}
+		if w := mx.EffectiveWorkers(workers); w != 1 {
+			t.Errorf("maxwell bench mesh: EffectiveWorkers(%d) = %d, want 1 (serial dispatch)", workers, w)
+		}
+	}
+}
+
+// Below the threshold, RHSParallel must produce bit-identical output to the
+// serial RHS with zero pool overhead (it IS the serial path) — and it must
+// not allocate worker scratch, the observable signature of serial dispatch.
+func TestAdaptiveSerialFallbackIdentical(t *testing.T) {
+	m := mesh.New(2, 5, true)
+	s := NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, waterLike), RiemannFlux)
+	q := NewAcousticState(m)
+	PlaneWaveX(m, waterLike, 1, q)
+	serial, par := NewAcousticState(m), NewAcousticState(m)
+	s.rhsSerial(q, serial)
+	s.RHSParallel(q, par, 8)
+	for i := range serial.P {
+		if serial.P[i] != par.P[i] {
+			t.Fatalf("serial fallback differs at node %d", i)
+		}
+	}
+	if len(s.parScratch) != 0 {
+		t.Errorf("below-threshold RHSParallel allocated %d scratch sets; want 0 (serial dispatch)", len(s.parScratch))
+	}
+}
+
+// ParallelTuning.Workers resolves the documented dispatch rules.
+func TestTuningWorkersRules(t *testing.T) {
+	cases := []struct {
+		name             string
+		t                ParallelTuning
+		work, n, workers int
+		want             int
+	}{
+		{"below default MinWork", ParallelTuning{}, DefaultMinWork - 1, 1000, 8, 1},
+		{"at default MinWork", ParallelTuning{}, DefaultMinWork, 1000, 8, 2}, // chunk cap: 160k/64k = 2
+		{"chunk cap limits workers", ParallelTuning{}, 4 * DefaultChunkWork, 1000, 16, 4},
+		{"big work keeps workers", ParallelTuning{}, 100 * DefaultChunkWork, 1000, 8, 8},
+		{"element count caps workers", ParallelTuning{MinWork: -1, ChunkWork: -1}, 10, 3, 8, 3},
+		{"workers<=1 stays serial", ParallelTuning{MinWork: -1}, 1 << 30, 1000, 1, 1},
+		{"single element stays serial", ParallelTuning{MinWork: -1}, 1 << 30, 1, 8, 1},
+		{"negative MinWork forces parallel", ParallelTuning{MinWork: -1, ChunkWork: -1}, 1, 100, 8, 8},
+		{"tiny work under default chunk", ParallelTuning{MinWork: -1}, 100, 100, 8, 1},
+		{"custom MinWork honored", ParallelTuning{MinWork: 50, ChunkWork: -1}, 49, 100, 8, 1},
+		{"custom MinWork passes", ParallelTuning{MinWork: 50, ChunkWork: -1}, 50, 100, 8, 8},
+	}
+	for _, c := range cases {
+		if got := c.t.Workers(c.work, c.n, c.workers); got != c.want {
+			t.Errorf("%s: Workers(%d, %d, %d) = %d, want %d", c.name, c.work, c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+// Above the threshold the adaptive path still matches serial bit-for-bit
+// (chunk-capped worker counts change only the range split, never the
+// per-element arithmetic).
+func TestAdaptiveAboveThresholdBitIdentical(t *testing.T) {
+	m := mesh.New(2, 5, true)
+	s := NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, waterLike), RiemannFlux)
+	s.Tuning = ParallelTuning{MinWork: 1, ChunkWork: 1000} // work=32000 → cap at 32 workers
+	if w := s.EffectiveWorkers(8); w != 8 {
+		t.Fatalf("EffectiveWorkers(8) = %d, want 8", w)
+	}
+	if w := s.EffectiveWorkers(64); w != 32 {
+		t.Fatalf("EffectiveWorkers(64) = %d, want 32 (chunk cap)", w)
+	}
+	q := NewAcousticState(m)
+	PlaneWaveX(m, waterLike, 1, q)
+	serial, par := NewAcousticState(m), NewAcousticState(m)
+	s.rhsSerial(q, serial)
+	s.RHSParallel(q, par, 64)
+	for i := range serial.P {
+		if serial.P[i] != par.P[i] {
+			t.Fatalf("chunk-capped parallel differs at node %d", i)
+		}
+	}
+}
+
+// TuneFromPoints picks the smallest work size where the pool wins by the
+// margin, and pins dispatch fully serial when it never wins.
+func TestTuneFromPoints(t *testing.T) {
+	pts := []CalibrationPoint{
+		{Elems: 8, Work: 2048, Serial: 100 * time.Microsecond, Parallel: 180 * time.Microsecond},
+		{Elems: 64, Work: 16384, Serial: 800 * time.Microsecond, Parallel: 780 * time.Microsecond},
+		{Elems: 512, Work: 131072, Serial: 6400 * time.Microsecond, Parallel: 2100 * time.Microsecond},
+		{Elems: 4096, Work: 1048576, Serial: 51 * time.Millisecond, Parallel: 14 * time.Millisecond},
+	}
+	tun := TuneFromPoints(pts, 0.05)
+	if tun.MinWork != 131072 {
+		t.Errorf("MinWork = %d, want 131072 (smallest winning size)", tun.MinWork)
+	}
+	// 64-elem point wins by only 2.6% — inside the margin, so not chosen.
+	if got := TuneFromPoints(pts, 0.01).MinWork; got != 16384 {
+		t.Errorf("1%% margin MinWork = %d, want 16384", got)
+	}
+	// Pool never wins ⇒ MinWork pins everything serial.
+	lose := []CalibrationPoint{{Work: 100, Serial: time.Millisecond, Parallel: 2 * time.Millisecond}}
+	if got := TuneFromPoints(lose, 0.05); got.MinWork != math.MaxInt {
+		t.Errorf("losing points: MinWork = %d, want MaxInt", got.MinWork)
+	}
+	if got := (CalibrationPoint{}).Speedup(); got != 0 {
+		t.Errorf("zero point speedup = %g, want 0", got)
+	}
+}
+
+// The calibration helpers run end-to-end and measure real crossovers; the
+// resulting tuning must dispatch sub-crossover meshes serial.
+func TestCalibrationSmoke(t *testing.T) {
+	tun, pts := CalibrateAcoustic(4, 2, 2, 0.05)
+	if len(pts) != 2 {
+		t.Fatalf("calibration returned %d points, want 2", len(pts))
+	}
+	for i, p := range pts {
+		if p.Serial <= 0 || p.Parallel <= 0 || p.Work <= 0 {
+			t.Errorf("point %d not measured: %+v", i, p)
+		}
+	}
+	// Whatever MinWork came out, the dispatch rule must be self-consistent:
+	// any measured point below it resolves to serial.
+	for _, p := range pts {
+		if p.Work < tun.MinWork && tun.Workers(p.Work, p.Elems, 8) != 1 {
+			t.Errorf("work %d below tuned MinWork %d but dispatched parallel", p.Work, tun.MinWork)
+		}
+	}
+	if _, pts := CalibrateElastic(3, 1, 2, 0.05); len(pts) != 1 {
+		t.Error("elastic calibration did not measure")
+	}
+	if _, pts := CalibrateMaxwell(3, 1, 2, 0.05); len(pts) != 1 {
+		t.Error("maxwell calibration did not measure")
+	}
+}
+
+// False-sharing audit: every per-worker scratch entry must occupy whole
+// cache lines (size a multiple of 64, at least two lines), and the padded
+// float64 buffers must fill whole lines so one worker's tail never shares
+// a line with the next allocation.
+func TestScratchCacheLinePadding(t *testing.T) {
+	check := func(name string, size uintptr) {
+		if size%64 != 0 || size < 128 {
+			t.Errorf("%s scratch is %d bytes; want a multiple of 64, >= 128", name, size)
+		}
+	}
+	check("acoustic", unsafe.Sizeof(acousticScratch{}))
+	check("elastic", unsafe.Sizeof(elasticScratch{}))
+	check("maxwell", unsafe.Sizeof(maxwellScratch{}))
+	for _, nn := range []int{1, 7, 8, 125, 216, 343} {
+		v := makeScratchVec(nn)
+		if len(v) != nn {
+			t.Fatalf("makeScratchVec(%d) len = %d", nn, len(v))
+		}
+		if cap(v)%8 != 0 {
+			t.Errorf("makeScratchVec(%d) cap = %d floats; want multiple of 8 (64B lines)", nn, cap(v))
+		}
+	}
+}

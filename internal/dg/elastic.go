@@ -91,6 +91,9 @@ type ElasticSolver struct {
 	// Obs, when non-nil, records per-stage RHS timings and parallel-range
 	// utilization (see parallel.go). Nil keeps the uninstrumented path.
 	Obs *obs.Sink
+	// Tuning controls the adaptive serial/parallel dispatch of RHSParallel
+	// (see parallel.go). The zero value uses the measured defaults.
+	Tuning ParallelTuning
 
 	scratch    [4][]float64
 	parScratch []elasticScratch
@@ -114,6 +117,12 @@ func (s *ElasticSolver) RHS(q, rhs *ElasticState) {
 		s.RHSParallel(q, rhs, s.Workers)
 		return
 	}
+	s.rhsSerial(q, rhs)
+}
+
+// rhsSerial is the unpooled RHS body, shared by RHS and the adaptive
+// below-threshold fallback in RHSParallel.
+func (s *ElasticSolver) rhsSerial(q, rhs *ElasticState) {
 	if s.Obs != nil {
 		defer observeSerialRHS(s.Obs, "elastic", time.Now())
 	}

@@ -80,6 +80,9 @@ type MaxwellSolver struct {
 	// Obs, when non-nil, records per-stage RHS timings and parallel-range
 	// utilization (see parallel.go). Nil keeps the uninstrumented path.
 	Obs *obs.Sink
+	// Tuning controls the adaptive serial/parallel dispatch of RHSParallel
+	// (see parallel.go). The zero value uses the measured defaults.
+	Tuning ParallelTuning
 
 	scratch    [3][]float64
 	parScratch []maxwellScratch
@@ -104,6 +107,12 @@ func (s *MaxwellSolver) RHS(q, rhs *MaxwellState) {
 		s.RHSParallel(q, rhs, s.Workers)
 		return
 	}
+	s.rhsSerial(q, rhs)
+}
+
+// rhsSerial is the unpooled RHS body, shared by RHS and the adaptive
+// below-threshold fallback in RHSParallel.
+func (s *MaxwellSolver) rhsSerial(q, rhs *MaxwellState) {
 	if s.Obs != nil {
 		defer observeSerialRHS(s.Obs, "maxwell", time.Now())
 	}

@@ -1,11 +1,13 @@
 package dg
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"wavepim/internal/material"
 	"wavepim/internal/mesh"
 	"wavepim/internal/obs"
 )
@@ -17,10 +19,15 @@ import (
 // without locks. Each worker owns its scratch buffers, cached on the
 // solver so the five RHS evaluations per RK time-step don't reallocate.
 //
-// Set Workers > 1 on a solver to enable; 0 or 1 keeps the serial path.
-// The parallel path computes bit-identical results to the serial one
-// (per-element arithmetic order is unchanged). A solver must not be used
-// from concurrent RHS calls — the parallelism lives inside one call.
+// Dispatch is adaptive: below a measured work threshold RHSParallel runs
+// the exact serial path (zero pool overhead — BENCH_pr5.json showed the
+// unconditional pool losing 1-9% at benchmark sizes), and above it the
+// worker count is capped so every chunk amortizes its scheduling cost
+// (see ParallelTuning). Set Workers > 1 on a solver to enable; 0 or 1
+// keeps the serial path. The parallel path computes bit-identical results
+// to the serial one (per-element arithmetic order is unchanged). A solver
+// must not be used from concurrent RHS calls — the parallelism lives
+// inside one call.
 
 // parallelFor splits [0, n) into contiguous chunks across workers and
 // waits for completion. fn receives the element range and a worker index
@@ -58,6 +65,219 @@ func parallelFor(n, workers int, fn func(lo, hi, worker int)) {
 
 // DefaultWorkers returns a sensible worker count for this machine.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ---------------------------------------------------------------------------
+// Adaptive dispatch
+// ---------------------------------------------------------------------------
+
+// Work units: one unit is one solution value touched per RHS evaluation,
+// elements x nodes-per-element x variables. The unit is equation-neutral,
+// so one threshold scale serves all three solvers while still reflecting
+// that an elastic element (9 vars) costs ~2x an acoustic one (4 vars).
+const (
+	acousticVars = 4
+	elasticVars  = 9
+	maxwellVars  = 6
+)
+
+// DefaultMinWork and DefaultChunkWork are the measured defaults behind the
+// zero-valued ParallelTuning. On the bench trajectory machines the pool's
+// fixed overhead (goroutine spawn + barrier + cross-core rhs-array
+// writeback) costs the equivalent of roughly 100k work units, and
+// BENCH_pr5.json showed even a 124k-unit elastic RHS (64 elements, np=6)
+// losing to serial. 160k units (~2-4 ms of serial RHS) is the smallest
+// size where the pool reliably pays for itself; every BENCH_pr5 mesh sits
+// below it and therefore dispatches serial.
+const (
+	DefaultMinWork   = 160 << 10
+	DefaultChunkWork = 64 << 10
+)
+
+// ParallelTuning controls one solver's adaptive RHSParallel dispatch.
+// The zero value means "use the measured defaults". Negative values
+// disable a bound: MinWork < 0 always parallelizes (test hook),
+// ChunkWork < 0 skips the chunk-size cap.
+type ParallelTuning struct {
+	// MinWork is the work size (see above) below which RHSParallel runs
+	// the serial path outright.
+	MinWork int
+	// ChunkWork caps the worker count at work/ChunkWork so each chunk is
+	// big enough to amortize its scheduling cost; coarser chunks beat
+	// per-element fan-out well past the crossover point.
+	ChunkWork int
+}
+
+func (t ParallelTuning) withDefaults() ParallelTuning {
+	if t.MinWork == 0 {
+		t.MinWork = DefaultMinWork
+	}
+	if t.ChunkWork == 0 {
+		t.ChunkWork = DefaultChunkWork
+	}
+	return t
+}
+
+// Workers resolves the effective worker count for one RHS evaluation over
+// n elements totalling work units: 1 below MinWork, otherwise the
+// requested count capped by the chunk-size rule and the element count.
+func (t ParallelTuning) Workers(work, n, workers int) int {
+	t = t.withDefaults()
+	if workers <= 1 || n <= 1 {
+		return 1
+	}
+	if t.MinWork > 0 && work < t.MinWork {
+		return 1
+	}
+	if t.ChunkWork > 0 {
+		if max := work / t.ChunkWork; workers > max {
+			workers = max
+		}
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// EffectiveWorkers reports the worker count RHSParallel would actually use
+// for this solver's mesh — 1 means the serial path is dispatched
+// unchanged. Exposed so regression tests can assert the threshold covers
+// the benchmark meshes.
+func (s *AcousticSolver) EffectiveWorkers(workers int) int {
+	m := s.Op.M
+	return s.Tuning.Workers(m.NumElem*m.NodesPerEl*acousticVars, m.NumElem, workers)
+}
+
+// EffectiveWorkers is the elastic counterpart of the acoustic method.
+func (s *ElasticSolver) EffectiveWorkers(workers int) int {
+	m := s.Op.M
+	return s.Tuning.Workers(m.NumElem*m.NodesPerEl*elasticVars, m.NumElem, workers)
+}
+
+// EffectiveWorkers is the Maxwell counterpart of the acoustic method.
+func (s *MaxwellSolver) EffectiveWorkers(workers int) int {
+	m := s.Op.M
+	return s.Tuning.Workers(m.NumElem*m.NodesPerEl*maxwellVars, m.NumElem, workers)
+}
+
+// ---------------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------------
+
+// CalibrationPoint is one serial-vs-parallel RHS measurement.
+type CalibrationPoint struct {
+	Elems    int
+	Work     int
+	Serial   time.Duration
+	Parallel time.Duration
+}
+
+// Speedup returns serial/parallel time (>1 means the pool wins).
+func (p CalibrationPoint) Speedup() float64 {
+	if p.Parallel <= 0 {
+		return 0
+	}
+	return float64(p.Serial) / float64(p.Parallel)
+}
+
+// TuneFromPoints derives a ParallelTuning from measured points: MinWork is
+// the smallest measured work size where the forced-parallel path beat
+// serial by at least margin (e.g. 0.05 for 5%). If the pool never wins —
+// a single-core machine, or meshes all below the crossover — MinWork is
+// math.MaxInt, which pins every dispatch serial.
+func TuneFromPoints(points []CalibrationPoint, margin float64) ParallelTuning {
+	t := ParallelTuning{MinWork: math.MaxInt}
+	for _, p := range points {
+		if p.Speedup() >= 1+margin && p.Work < t.MinWork {
+			t.MinWork = p.Work
+		}
+	}
+	return t
+}
+
+// timeMinOf reports the minimum wall time of reps runs of fn (minima are
+// the least noisy statistic on shared machines).
+func timeMinOf(reps int, fn func()) time.Duration {
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+const calibrationReps = 3
+
+// CalibrateAcoustic measures the serial/parallel crossover of the acoustic
+// RHS on this machine over meshes at refinements 1..maxRefinement and
+// returns the tuned thresholds plus the raw points. The parallel side
+// bypasses the adaptive dispatch (it is what the tuning is measuring).
+func CalibrateAcoustic(np, maxRefinement, workers int, margin float64) (ParallelTuning, []CalibrationPoint) {
+	var points []CalibrationPoint
+	for r := 1; r <= maxRefinement; r++ {
+		m := mesh.New(r, np, true)
+		mat := material.Acoustic{Kappa: 2.25, Rho: 1}
+		s := NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, mat), RiemannFlux)
+		q, rhs := NewAcousticState(m), NewAcousticState(m)
+		PlaneWaveX(m, mat, 1, q)
+		s.RHS(q, rhs) // warm caches and scratch
+		s.rhsParallel(q, rhs, workers)
+		points = append(points, CalibrationPoint{
+			Elems:    m.NumElem,
+			Work:     m.NumElem * m.NodesPerEl * acousticVars,
+			Serial:   timeMinOf(calibrationReps, func() { s.rhsSerial(q, rhs) }),
+			Parallel: timeMinOf(calibrationReps, func() { s.rhsParallel(q, rhs, workers) }),
+		})
+	}
+	return TuneFromPoints(points, margin), points
+}
+
+// CalibrateElastic is the elastic counterpart of CalibrateAcoustic.
+func CalibrateElastic(np, maxRefinement, workers int, margin float64) (ParallelTuning, []CalibrationPoint) {
+	var points []CalibrationPoint
+	for r := 1; r <= maxRefinement; r++ {
+		m := mesh.New(r, np, true)
+		mat := material.Elastic{Lambda: 2, Mu: 1, Rho: 1}
+		s := NewElasticSolver(m, material.UniformElastic(m.NumElem, mat), RiemannFlux)
+		q, rhs := NewElasticState(m), NewElasticState(m)
+		PlaneWavePX(m, mat, 1, q)
+		s.RHS(q, rhs)
+		s.rhsParallel(q, rhs, workers)
+		points = append(points, CalibrationPoint{
+			Elems:    m.NumElem,
+			Work:     m.NumElem * m.NodesPerEl * elasticVars,
+			Serial:   timeMinOf(calibrationReps, func() { s.rhsSerial(q, rhs) }),
+			Parallel: timeMinOf(calibrationReps, func() { s.rhsParallel(q, rhs, workers) }),
+		})
+	}
+	return TuneFromPoints(points, margin), points
+}
+
+// CalibrateMaxwell is the Maxwell counterpart of CalibrateAcoustic.
+func CalibrateMaxwell(np, maxRefinement, workers int, margin float64) (ParallelTuning, []CalibrationPoint) {
+	var points []CalibrationPoint
+	for r := 1; r <= maxRefinement; r++ {
+		m := mesh.New(r, np, true)
+		s := NewMaxwellSolver(m, material.Vacuum, RiemannFlux)
+		q, rhs := NewMaxwellState(m), NewMaxwellState(m)
+		PlaneWaveEM(m, material.Vacuum, 1, q)
+		s.RHS(q, rhs)
+		s.rhsParallel(q, rhs, workers)
+		points = append(points, CalibrationPoint{
+			Elems:    m.NumElem,
+			Work:     m.NumElem * m.NodesPerEl * maxwellVars,
+			Serial:   timeMinOf(calibrationReps, func() { s.rhsSerial(q, rhs) }),
+			Parallel: timeMinOf(calibrationReps, func() { s.rhsParallel(q, rhs, workers) }),
+		})
+	}
+	return TuneFromPoints(points, margin), points
+}
 
 // ---------------------------------------------------------------------------
 // Instrumentation
@@ -104,12 +324,35 @@ func observeSerialRHS(sink *obs.Sink, name string, start time.Time) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-worker scratch
+//
+// False-sharing audit: each scratch entry is padded to its own cache
+// lines so adjacent workers' slice headers never share a line, and the
+// float64 buffers are allocated with capacities rounded up to a 64-byte
+// multiple so one worker's buffer tail cannot share a line with the next
+// allocation. The buffers themselves are written by exactly one worker
+// per evaluation.
+// ---------------------------------------------------------------------------
+
+// padded64 rounds n up so n float64s fill whole 64-byte cache lines.
+func padded64(n int) int { return (n + 7) &^ 7 }
+
+// makeScratchVec allocates one worker-private work array with a padded
+// capacity (length stays nn).
+func makeScratchVec(nn int) []float64 {
+	return make([]float64, nn, padded64(nn))
+}
+
+// ---------------------------------------------------------------------------
 // Acoustic
 // ---------------------------------------------------------------------------
 
-// acousticScratch is one worker's private work arrays.
+// acousticScratch is one worker's private work arrays. The trailing pad
+// keeps each entry on its own cache lines inside the solver's scratch
+// slice (two slice headers = 48 bytes; pad to 128).
 type acousticScratch struct {
 	divV, dPd []float64
+	_         [80]byte
 }
 
 // parScratchFor returns at least workers per-worker scratch sets, growing
@@ -118,15 +361,27 @@ func (s *AcousticSolver) parScratchFor(workers int) []acousticScratch {
 	nn := s.Op.M.NodesPerEl
 	for len(s.parScratch) < workers {
 		s.parScratch = append(s.parScratch, acousticScratch{
-			divV: make([]float64, nn), dPd: make([]float64, nn)})
+			divV: makeScratchVec(nn), dPd: makeScratchVec(nn)})
 	}
 	return s.parScratch
 }
 
-// RHSParallel computes the full RHS using workers goroutines. It is
+// RHSParallel computes the full RHS with up to workers goroutines. It is
 // equivalent to RHS; the integrators use it automatically when the
-// solver's Workers field is set above 1.
+// solver's Workers field is set above 1. Below the solver's tuning
+// threshold it dispatches the unmodified serial path (identical code, no
+// pool), so small meshes never pay the pool overhead.
 func (s *AcousticSolver) RHSParallel(q, rhs *AcousticState, workers int) {
+	if s.EffectiveWorkers(workers) <= 1 {
+		s.rhsSerial(q, rhs)
+		return
+	}
+	s.rhsParallel(q, rhs, s.EffectiveWorkers(workers))
+}
+
+// rhsParallel is the raw pooled path (no adaptive dispatch); calibration
+// measures it directly.
+func (s *AcousticSolver) rhsParallel(q, rhs *AcousticState, workers int) {
 	m := s.Op.M
 	scratch := s.parScratchFor(workers)
 	runRHS(s.Obs, "acoustic", m.NumElem, workers, func(lo, hi, w int) {
@@ -145,23 +400,33 @@ func (s *AcousticSolver) RHSParallel(q, rhs *AcousticState, workers int) {
 // ---------------------------------------------------------------------------
 
 // elasticScratch is one worker's private work arrays (the three derivative
-// buffers the Volume kernel cycles through).
+// buffers the Volume kernel cycles through), padded to whole cache lines
+// (three slice headers = 72 bytes; pad to 128).
 type elasticScratch struct {
 	da, db, dc []float64
+	_          [56]byte
 }
 
 func (s *ElasticSolver) parScratchFor(workers int) []elasticScratch {
 	nn := s.Op.M.NodesPerEl
 	for len(s.parScratch) < workers {
 		s.parScratch = append(s.parScratch, elasticScratch{
-			da: make([]float64, nn), db: make([]float64, nn), dc: make([]float64, nn)})
+			da: makeScratchVec(nn), db: makeScratchVec(nn), dc: makeScratchVec(nn)})
 	}
 	return s.parScratch
 }
 
-// RHSParallel computes the full elastic RHS using workers goroutines,
-// equivalent to RHS.
+// RHSParallel computes the full elastic RHS with up to workers goroutines,
+// equivalent to RHS (serial below the tuning threshold).
 func (s *ElasticSolver) RHSParallel(q, rhs *ElasticState, workers int) {
+	if s.EffectiveWorkers(workers) <= 1 {
+		s.rhsSerial(q, rhs)
+		return
+	}
+	s.rhsParallel(q, rhs, s.EffectiveWorkers(workers))
+}
+
+func (s *ElasticSolver) rhsParallel(q, rhs *ElasticState, workers int) {
 	m := s.Op.M
 	scratch := s.parScratchFor(workers)
 	runRHS(s.Obs, "elastic", m.NumElem, workers, func(lo, hi, w int) {
@@ -179,23 +444,33 @@ func (s *ElasticSolver) RHSParallel(q, rhs *ElasticState, workers int) {
 // Maxwell
 // ---------------------------------------------------------------------------
 
-// maxwellScratch is one worker's private work arrays.
+// maxwellScratch is one worker's private work arrays, padded to whole
+// cache lines (two slice headers = 48 bytes; pad to 128).
 type maxwellScratch struct {
 	da, db []float64
+	_      [80]byte
 }
 
 func (s *MaxwellSolver) parScratchFor(workers int) []maxwellScratch {
 	nn := s.Op.M.NodesPerEl
 	for len(s.parScratch) < workers {
 		s.parScratch = append(s.parScratch, maxwellScratch{
-			da: make([]float64, nn), db: make([]float64, nn)})
+			da: makeScratchVec(nn), db: makeScratchVec(nn)})
 	}
 	return s.parScratch
 }
 
-// RHSParallel computes the full Maxwell RHS using workers goroutines,
-// equivalent to RHS.
+// RHSParallel computes the full Maxwell RHS with up to workers goroutines,
+// equivalent to RHS (serial below the tuning threshold).
 func (s *MaxwellSolver) RHSParallel(q, rhs *MaxwellState, workers int) {
+	if s.EffectiveWorkers(workers) <= 1 {
+		s.rhsSerial(q, rhs)
+		return
+	}
+	s.rhsParallel(q, rhs, s.EffectiveWorkers(workers))
+}
+
+func (s *MaxwellSolver) rhsParallel(q, rhs *MaxwellState, workers int) {
 	m := s.Op.M
 	scratch := s.parScratchFor(workers)
 	runRHS(s.Obs, "maxwell", m.NumElem, workers, func(lo, hi, w int) {

@@ -8,12 +8,17 @@ import (
 	"wavepim/internal/mesh"
 )
 
+// forceParallel disables the adaptive thresholds so tests exercise the
+// pooled path even on meshes far below the crossover.
+var forceParallel = ParallelTuning{MinWork: -1, ChunkWork: -1}
+
 // The parallel RHS is bit-identical to the serial one (same per-element
 // arithmetic order, private scratch per worker).
 func TestParallelRHSBitIdentical(t *testing.T) {
 	m := mesh.New(2, 5, true)
 	mat := material.UniformAcoustic(m.NumElem, waterLike)
 	s := NewAcousticSolver(m, mat, RiemannFlux)
+	s.Tuning = forceParallel
 	q := NewAcousticState(m)
 	PlaneWaveX(m, waterLike, 1, q)
 	for i := range q.P {
@@ -57,6 +62,7 @@ func TestParallelElasticRHSBitIdentical(t *testing.T) {
 	m := mesh.New(2, 5, true)
 	mat := material.UniformElastic(m.NumElem, rockLike)
 	s := NewElasticSolver(m, mat, RiemannFlux)
+	s.Tuning = forceParallel
 	q := NewElasticState(m)
 	PlaneWavePX(m, rockLike, 1, q)
 	for i := range q.V[0] {
@@ -100,6 +106,7 @@ func TestParallelMaxwellRHSBitIdentical(t *testing.T) {
 	m := mesh.New(2, 5, true)
 	mat := material.Dielectric{Eps: 2.25, Mu: 1.0}
 	s := NewMaxwellSolver(m, mat, RiemannFlux)
+	s.Tuning = forceParallel
 	q := NewMaxwellState(m)
 	PlaneWaveEM(m, mat, 1, q)
 	for i := range q.E[0] {
@@ -135,6 +142,7 @@ func TestParallelMaxwellRHSBitIdentical(t *testing.T) {
 func TestParallelScratchCached(t *testing.T) {
 	m := mesh.New(1, 4, true)
 	s := NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, waterLike), CentralFlux)
+	s.Tuning = forceParallel
 	q := NewAcousticState(m)
 	rhs := NewAcousticState(m)
 	s.RHSParallel(q, rhs, 4)

@@ -1,0 +1,529 @@
+package nor
+
+// Slab-parallel IEEE-754 binary32 addition and multiplication: up to K*64
+// independent operand pairs ride the lanes of each gate evaluation. This
+// is the sliced_fp32.go datapath widened word-for-word to K-word slabs —
+// the same gate decomposition, the same lane-mask control flow, the same
+// host-side bookkeeping — so results and Stats remain bit-identical to
+// the scalar and single-word sliced paths (slab_test.go property-tests
+// all slab widths against both).
+//
+// The Batch entry points process arbitrary-length operand vectors in
+// K*64-lane tiles, resetting the slab arena between tiles so the whole
+// datapath runs allocation-free after warm-up and its live planes stay
+// cache-resident.
+
+// unpackedSlab holds the gate-extracted fields of one operand vector.
+type unpackedSlab struct {
+	sign  []Word
+	isNaN []Word
+	isInf []Word
+	isZer []Word
+	mant  SlabBits // 24 planes: significand with hidden bit
+	eAdj  []int32  // effective exponent: max(exp, 1), host-read
+}
+
+func (c *SlabCircuit) packU32Slab(v []uint32) SlabBits {
+	vals := make([]uint64, len(v))
+	for l, x := range v {
+		vals[l] = uint64(x)
+	}
+	return c.PackSlab(vals, 32)
+}
+
+func (c *SlabCircuit) unpackSlab(mask []Word, v []uint32) unpackedSlab {
+	b := c.packU32Slab(v)
+	var u unpackedSlab
+	u.sign = b[signShift]
+	expB := b[fracBits : fracBits+expBits]
+	fracB := b[:fracBits]
+	expAllOnes := c.AndReduce(mask, SlabBits(expB))
+	fracZero := c.NOT(mask, c.OrReduce(mask, SlabBits(fracB)))
+	expZero := c.NOT(mask, c.OrReduce(mask, SlabBits(expB)))
+	u.isNaN = c.maskAndNot(expAllOnes, fracZero)
+	u.isInf = c.maskAnd(expAllOnes, fracZero)
+	u.isZer = c.maskAnd(expZero, fracZero)
+	u.mant = make(SlabBits, 24)
+	copy(u.mant, fracB)
+	u.mant[23] = c.maskNot(expZero) // hidden bit
+	u.eAdj = make([]int32, len(v))
+	for l, x := range v {
+		e := x >> fracBits & expMask
+		if e == 0 {
+			e = 1
+		}
+		u.eAdj[l] = int32(e)
+	}
+	return u
+}
+
+// packSlabOut assembles final bit patterns for the masked lanes into out,
+// using the same carry-propagating ((eRc-1)<<23) + M gate add as the
+// scalar and sliced packs.
+func (c *SlabCircuit) packSlabOut(mask, sign []Word, eR []int, m SlabBits, out []uint32) {
+	eVals := make([]uint64, len(eR))
+	for l := range eR {
+		if maskBit(mask, l) {
+			eVals[l] = uint64(eR[l] - 1)
+		}
+	}
+	e := c.PackSlab(eVals, 10)
+	shifted := make(SlabBits, 33)
+	for i := range shifted {
+		shifted[i] = c.zero
+	}
+	copy(shifted[23:], e)
+	sum := c.AddBits(mask, shifted, m, c.zero)
+	low := sum[:33]
+	for l := range eR {
+		if !maskBit(mask, l) {
+			continue
+		}
+		full := low.Lane(l)
+		var v uint32
+		if full>>23 >= expMask { // exponent overflow -> infinity
+			v = expMask << 23
+		} else {
+			v = uint32(full)
+		}
+		if maskBit(sign, l) {
+			v |= 1 << signShift
+		}
+		out[l] = v
+	}
+}
+
+// roundRNESlab rounds the 24-plane significand given guard and sticky
+// planes, returning 25 planes (possible carry out).
+func (c *SlabCircuit) roundRNESlab(mask []Word, m SlabBits, guard, sticky []Word) SlabBits {
+	lsb := m[0]
+	roundUp := c.AND(mask, guard, c.OR(mask, sticky, lsb))
+	inc := SlabBits{roundUp}
+	return c.AddBits(mask, m, inc, c.zero)
+}
+
+// selSlabPlanes merges two plane vectors lane-wise: x where sel, y
+// elsewhere (host data movement, no gate cost).
+func (c *SlabCircuit) selSlabPlanes(sel []Word, x, y SlabBits) SlabBits {
+	n := len(x)
+	if len(y) > n {
+		n = len(y)
+	}
+	out := make(SlabBits, n)
+	for i := 0; i < n; i++ {
+		xb, yb := c.plane(x, i), c.plane(y, i)
+		o := c.grab()
+		for w := range o {
+			o[w] = xb[w]&sel[w] | yb[w]&^sel[w]
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// selWord is the single-plane host merge: x where sel, y elsewhere.
+func (c *SlabCircuit) selWord(sel, x, y []Word) []Word {
+	o := c.grab()
+	for w := range o {
+		o[w] = x[w]&sel[w] | y[w]&^sel[w]
+	}
+	return o
+}
+
+func (c *SlabCircuit) checkSlabArgs(a, b []uint32) int {
+	n := checkArgLens(a, b)
+	if n > c.SlabLanes() {
+		panic("nor: operand pairs exceed slab lanes")
+	}
+	return n
+}
+
+func checkArgLens(a, b []uint32) int {
+	if len(a) != len(b) {
+		panic("nor: lane operand lengths differ")
+	}
+	return len(a)
+}
+
+// MulFP32Slab multiplies up to K*64 float32 bit-pattern pairs lane-wise.
+// Slabs handed out earlier are invalidated (the arena is reset).
+func (c *SlabCircuit) MulFP32Slab(a, b []uint32) []uint32 {
+	n := c.checkSlabArgs(a, b)
+	out := make([]uint32, n)
+	c.mulFP32SlabInto(a, b, out)
+	return out
+}
+
+func (c *SlabCircuit) mulFP32SlabInto(a, b, out []uint32) {
+	n := len(a)
+	if n == 0 {
+		return
+	}
+	c.ResetArena()
+	active := c.SlabMask(n)
+	ua := c.unpackSlab(active, a)
+	ub := c.unpackSlab(active, b)
+	sign := c.XOR(active, ua.sign, ub.sign)
+
+	resolved := c.grabZero()
+	for l := 0; l < n; l++ {
+		switch {
+		case maskBit(ua.isNaN, l) || maskBit(ub.isNaN, l):
+			out[l] = quietNaN
+			setMaskBit(resolved, l)
+		case maskBit(ua.isInf, l) || maskBit(ub.isInf, l):
+			if maskBit(ua.isZer, l) || maskBit(ub.isZer, l) {
+				out[l] = quietNaN // inf * 0
+			} else {
+				v := uint32(expMask << 23)
+				if maskBit(sign, l) {
+					v |= 1 << signShift
+				}
+				out[l] = v
+			}
+			setMaskBit(resolved, l)
+		}
+	}
+	live := c.maskAndNot(active, resolved)
+	if maskEmpty(live) {
+		return
+	}
+
+	// 24x24 -> 48-plane gate-level product and normalization scan.
+	p := c.MulBits(live, ua.mant, ub.mant)
+	lzPl := c.LeadingZeros(live, p)
+	lz := make([]int, n)
+	for l := 0; l < n; l++ {
+		lz[l] = int(lzPl.Lane(l))
+	}
+	for l := 0; l < n; l++ {
+		if maskBit(live, l) && lz[l] == 48 { // zero product
+			out[l] = 0
+			if maskBit(sign, l) {
+				out[l] = 1 << signShift
+			}
+			clearMaskBit(live, l)
+		}
+	}
+	if maskEmpty(live) {
+		return
+	}
+
+	pn := c.ShiftLeftBits(live, p, lzPl)
+	eR := make([]int, n)
+	for l := 0; l < n; l++ {
+		eR[l] = int(ua.eAdj[l]) + int(ub.eAdj[l]) - lz[l] - 126
+	}
+
+	m := pn[24:48].Clone()
+	guard := pn[23]
+	sticky := c.OrReduce(live, pn[:23])
+
+	// Subnormal lanes: shift right until the exponent reaches 1. Lanes
+	// with a zero shift amount pass through the masked shifter unchanged.
+	subM := c.grabZero()
+	anySub := false
+	dVals := make([]uint64, n)
+	for l := 0; l < n; l++ {
+		if maskBit(live, l) && eR[l] < 1 {
+			d := 1 - eR[l]
+			if d > 31 {
+				d = 31
+			}
+			dVals[l] = uint64(d)
+			setMaskBit(subM, l)
+			anySub = true
+			eR[l] = 1
+		}
+	}
+	if anySub {
+		ext := make(SlabBits, 25)
+		copy(ext[1:], m)
+		ext[0] = guard
+		shifted, lost := c.ShiftRightBits(subM, ext, c.PackSlab(dVals, 5))
+		sticky = c.OR(subM, sticky, lost)
+		m = shifted[1:25].Clone()
+		guard = shifted[0]
+	}
+
+	rounded := c.roundRNESlab(live, m, guard, sticky)
+	c.packSlabOut(live, sign, eR, rounded[:25], out)
+}
+
+// AddFP32Slab adds up to K*64 float32 bit-pattern pairs lane-wise. Slabs
+// handed out earlier are invalidated (the arena is reset).
+func (c *SlabCircuit) AddFP32Slab(a, b []uint32) []uint32 {
+	n := c.checkSlabArgs(a, b)
+	out := make([]uint32, n)
+	c.addFP32SlabInto(a, b, out)
+	return out
+}
+
+func (c *SlabCircuit) addFP32SlabInto(a, b, out []uint32) {
+	n := len(a)
+	if n == 0 {
+		return
+	}
+	c.ResetArena()
+	active := c.SlabMask(n)
+	ua := c.unpackSlab(active, a)
+	ub := c.unpackSlab(active, b)
+
+	resolved := c.grabZero()
+	for l := 0; l < n; l++ {
+		switch {
+		case maskBit(ua.isNaN, l) || maskBit(ub.isNaN, l):
+			out[l] = quietNaN
+			setMaskBit(resolved, l)
+		case maskBit(ua.isInf, l) && maskBit(ub.isInf, l):
+			if maskBit(ua.sign, l) != maskBit(ub.sign, l) {
+				out[l] = quietNaN // inf - inf
+			} else {
+				out[l] = a[l]
+			}
+			setMaskBit(resolved, l)
+		case maskBit(ua.isInf, l):
+			out[l] = a[l]
+			setMaskBit(resolved, l)
+		case maskBit(ub.isInf, l):
+			out[l] = b[l]
+			setMaskBit(resolved, l)
+		}
+	}
+	live := c.maskAndNot(active, resolved)
+	if maskEmpty(live) {
+		return
+	}
+
+	// Order operands by magnitude with a gate comparison of the low 31
+	// bits.
+	magAv := make([]uint64, n)
+	magBv := make([]uint64, n)
+	for l := 0; l < n; l++ {
+		magAv[l] = uint64(a[l] & 0x7FFFFFFF)
+		magBv[l] = uint64(b[l] & 0x7FFFFFFF)
+	}
+	aGE := c.GEBits(live, c.PackSlab(magAv, 31), c.PackSlab(magBv, 31))
+
+	mantL := c.selSlabPlanes(aGE, ua.mant, ub.mant)
+	mantS := c.selSlabPlanes(aGE, ub.mant, ua.mant)
+	signL := c.selWord(aGE, ua.sign, ub.sign)
+	signS := c.selWord(aGE, ub.sign, ua.sign)
+	eL := make([]int, n)
+	eS := make([]int, n)
+	for l := 0; l < n; l++ {
+		if maskBit(aGE, l) {
+			eL[l], eS[l] = int(ua.eAdj[l]), int(ub.eAdj[l])
+		} else {
+			eL[l], eS[l] = int(ub.eAdj[l]), int(ua.eAdj[l])
+		}
+	}
+
+	// Align: 3 GRS planes below the significands; shift the small operand
+	// right by the per-lane exponent difference.
+	mL := make(SlabBits, 28)
+	mS := make(SlabBits, 28)
+	for i := 0; i < 3; i++ {
+		mL[i], mS[i] = c.zero, c.zero
+	}
+	copy(mL[3:27], mantL)
+	copy(mS[3:27], mantS)
+	mL[27], mS[27] = c.zero, c.zero
+	sticky := c.zeroSlab()
+	dPos := c.grabZero()
+	anyD := false
+	shVals := make([]uint64, n)
+	for l := 0; l < n; l++ {
+		if !maskBit(live, l) {
+			continue
+		}
+		if d := eL[l] - eS[l]; d > 0 {
+			if d > 31 {
+				d = 31
+			}
+			shVals[l] = uint64(d)
+			setMaskBit(dPos, l)
+			anyD = true
+		}
+	}
+	if anyD {
+		var lost []Word
+		mS, lost = c.ShiftRightBits(dPos, mS, c.PackSlab(shVals, 5))
+		sticky = c.OR(dPos, sticky, lost)
+	}
+
+	sameSign := c.maskNot(c.XOR(live, signL, signS))
+	addM := c.maskAnd(live, sameSign)
+	subM := c.maskAndNot(live, sameSign)
+
+	r := make(SlabBits, 29)
+	for i := range r {
+		r[i] = c.zero
+	}
+	if !maskEmpty(addM) {
+		sum := c.AddBits(addM, mL, mS, c.zero)
+		for i := range r {
+			r[i] = c.maskAnd(sum[i], addM)
+		}
+	}
+	if !maskEmpty(subM) {
+		// |L| >= |S|: no borrow. Truncated alignment bits borrow one ULP.
+		diff, _ := c.SubBits(subM, mL, mS)
+		stickySub := c.maskAnd(subM, sticky)
+		if !maskEmpty(stickySub) {
+			one := SlabBits{c.maskNot(c.zero)}
+			d2, _ := c.SubBits(stickySub, diff, one)
+			for i := range diff {
+				diff[i] = c.selWord(stickySub, d2[i], diff[i])
+			}
+		}
+		for i := 0; i < 28; i++ {
+			r[i] = c.maskOr(r[i], c.maskAnd(diff[i], subM))
+		}
+	}
+
+	// Exact cancellation lanes.
+	orr := c.OrReduce(live, r)
+	for l := 0; l < n; l++ {
+		if !maskBit(live, l) || maskBit(orr, l) || maskBit(sticky, l) {
+			continue
+		}
+		out[l] = 0
+		if maskBit(ua.isZer, l) && maskBit(ub.isZer, l) &&
+			maskBit(ua.sign, l) && maskBit(ub.sign, l) {
+			out[l] = 1 << signShift // (-0) + (-0)
+		}
+		clearMaskBit(live, l)
+	}
+	if maskEmpty(live) {
+		return
+	}
+
+	// Normalize: per-lane leading-one position decides right shift (by at
+	// most 2), left shift (clamped so the exponent never drops below 1),
+	// or none; the two masked barrel shifts leave other lanes untouched.
+	lzPl := c.LeadingZeros(live, r)
+	eR := make([]int, n)
+	kGT := c.grabZero()
+	kLT := c.grabZero()
+	anyGT, anyLT := false, false
+	shGT := make([]uint64, n)
+	shLT := make([]uint64, n)
+	for l := 0; l < n; l++ {
+		if !maskBit(live, l) {
+			continue
+		}
+		k := 28 - int(lzPl.Lane(l))
+		eR[l] = eL[l] + k - 26
+		if k > 26 {
+			shGT[l] = uint64(k - 26)
+			setMaskBit(kGT, l)
+			anyGT = true
+		} else if k < 26 {
+			sh := 26 - k
+			if eR[l] < 1 {
+				sh = eL[l] - 1
+				if sh < 0 {
+					sh = 0
+				}
+				eR[l] = 1
+			}
+			shLT[l] = uint64(sh)
+			setMaskBit(kLT, l)
+			anyLT = true
+		}
+	}
+	if anyGT {
+		var lost []Word
+		r, lost = c.ShiftRightBits(kGT, r, c.PackSlab(shGT, 2))
+		sticky = c.OR(kGT, sticky, lost)
+	}
+	if anyLT {
+		r = c.ShiftLeftBits(kLT, r, c.PackSlab(shLT, 5))
+	}
+
+	m := r[3:27].Clone()
+	guard := r[2]
+	sticky = c.OR(live, sticky, c.OR(live, r[1], r[0]))
+
+	subN := c.grabZero()
+	anySubN := false
+	ddVals := make([]uint64, n)
+	for l := 0; l < n; l++ {
+		if maskBit(live, l) && eR[l] < 1 {
+			dd := 1 - eR[l]
+			if dd > 31 {
+				dd = 31
+			}
+			ddVals[l] = uint64(dd)
+			setMaskBit(subN, l)
+			anySubN = true
+			eR[l] = 1
+		}
+	}
+	if anySubN {
+		ext := make(SlabBits, 25)
+		copy(ext[1:], m)
+		ext[0] = guard
+		shifted, lost := c.ShiftRightBits(subN, ext, c.PackSlab(ddVals, 5))
+		sticky = c.OR(subN, sticky, lost)
+		m = shifted[1:25].Clone()
+		guard = shifted[0]
+	}
+
+	rounded := c.roundRNESlab(live, m, guard, sticky)
+	c.packSlabOut(live, signL, eR, rounded[:25], out)
+}
+
+// ---------------------------------------------------------------------------
+// Batch drivers: arbitrary-length operand vectors in cache-blocked tiles
+// ---------------------------------------------------------------------------
+
+// MulFP32Batch multiplies len(out) float32 bit-pattern pairs, processing
+// them in K*64-lane tiles (the arena resets between tiles, so the whole
+// batch runs allocation-free after warm-up).
+func (c *SlabCircuit) MulFP32Batch(a, b, out []uint32) {
+	n := checkArgLens(a, b)
+	if len(out) != n {
+		panic("nor: batch output length mismatch")
+	}
+	tile := c.SlabLanes()
+	for lo := 0; lo < n; lo += tile {
+		hi := lo + tile
+		if hi > n {
+			hi = n
+		}
+		c.mulFP32SlabInto(a[lo:hi], b[lo:hi], out[lo:hi])
+	}
+}
+
+// AddFP32Batch adds len(out) float32 bit-pattern pairs in K*64-lane
+// tiles.
+func (c *SlabCircuit) AddFP32Batch(a, b, out []uint32) {
+	n := checkArgLens(a, b)
+	if len(out) != n {
+		panic("nor: batch output length mismatch")
+	}
+	tile := c.SlabLanes()
+	for lo := 0; lo < n; lo += tile {
+		hi := lo + tile
+		if hi > n {
+			hi = n
+		}
+		c.addFP32SlabInto(a[lo:hi], b[lo:hi], out[lo:hi])
+	}
+}
+
+// MulFloat32Batch and AddFloat32Batch are convenience wrappers over
+// float32 values.
+func (c *SlabCircuit) MulFloat32Batch(a, b []float32) []float32 {
+	out := make([]uint32, len(a))
+	c.MulFP32Batch(lanesToBits(a), lanesToBits(b), out)
+	return lanesFromBits(out)
+}
+
+func (c *SlabCircuit) AddFloat32Batch(a, b []float32) []float32 {
+	out := make([]uint32, len(a))
+	c.AddFP32Batch(lanesToBits(a), lanesToBits(b), out)
+	return lanesFromBits(out)
+}

@@ -1,0 +1,278 @@
+package nor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The slab substrate's contract is exact three-way equivalence: for any
+// batch and any slab width K, slab outputs and Stats match the
+// single-word sliced path, which in turn matches the scalar gate path run
+// once per lane. These tests enforce the full chain over random inputs
+// (same category mix as the sliced tests) and the shared edge-case table.
+
+var slabWidths = []int{1, 2, 3, 4, 8}
+
+// slicedLanes runs the single-word sliced datapath in 64-lane chunks,
+// returning outputs and total Stats — the middle link of the chain.
+func slicedLanes(op func(*SlicedCircuit, []uint32, []uint32) []uint32, a, b []uint32) ([]uint32, Stats) {
+	var c SlicedCircuit
+	out := make([]uint32, 0, len(a))
+	for lo := 0; lo < len(a); lo += Lanes {
+		hi := lo + Lanes
+		if hi > len(a) {
+			hi = len(a)
+		}
+		out = append(out, op(&c, a[lo:hi], b[lo:hi])...)
+	}
+	return out, c.Stats
+}
+
+func checkSlabChain(t *testing.T, name string, k int, a, b []uint32,
+	mul bool, got []uint32, gotStats Stats) {
+	t.Helper()
+	scalarOp, slicedOp := (*Circuit).AddFP32, (*SlicedCircuit).AddFP32Lanes
+	if mul {
+		scalarOp, slicedOp = (*Circuit).MulFP32, (*SlicedCircuit).MulFP32Lanes
+	}
+	wantScalar, scalarStats := scalarLanes(scalarOp, a, b)
+	wantSliced, slicedStats := slicedLanes(slicedOp, a, b)
+	for l := range wantScalar {
+		if got[l] != wantScalar[l] {
+			t.Errorf("%s K=%d lane %d: (%08x, %08x) slab %08x, scalar %08x",
+				name, k, l, a[l], b[l], got[l], wantScalar[l])
+		}
+		if wantSliced[l] != wantScalar[l] {
+			t.Errorf("%s lane %d: sliced %08x disagrees with scalar %08x",
+				name, l, wantSliced[l], wantScalar[l])
+		}
+	}
+	if gotStats != scalarStats {
+		t.Errorf("%s K=%d stats: slab %+v, scalar %+v", name, k, gotStats, scalarStats)
+	}
+	if slicedStats != scalarStats {
+		t.Errorf("%s stats: sliced %+v, scalar %+v", name, slicedStats, scalarStats)
+	}
+}
+
+func TestSlabMulFP32Differential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range slabWidths {
+		c := NewSlabCircuit(k)
+		for batch := 0; batch < 12; batch++ {
+			n := 1 + rng.Intn(k*Lanes)
+			a := make([]uint32, n)
+			b := make([]uint32, n)
+			for i := range a {
+				a[i], b[i] = randFP32(rng), randFP32(rng)
+			}
+			c.Stats = Stats{}
+			got := c.MulFP32Slab(a, b)
+			checkSlabChain(t, "MulFP32Slab", k, a, b, true, got, c.Stats)
+		}
+	}
+}
+
+func TestSlabAddFP32Differential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, k := range slabWidths {
+		c := NewSlabCircuit(k)
+		for batch := 0; batch < 12; batch++ {
+			n := 1 + rng.Intn(k*Lanes)
+			a := make([]uint32, n)
+			b := make([]uint32, n)
+			for i := range a {
+				a[i], b[i] = randFP32(rng), randFP32(rng)
+				if rng.Intn(8) == 0 {
+					b[i] = a[i] ^ 1<<signShift // exact cancellation
+				}
+				if rng.Intn(8) == 0 {
+					b[i] = (a[i] + uint32(rng.Intn(4))) ^ 1<<signShift // near cancellation
+				}
+			}
+			c.Stats = Stats{}
+			got := c.AddFP32Slab(a, b)
+			checkSlabChain(t, "AddFP32Slab", k, a, b, false, got, c.Stats)
+		}
+	}
+}
+
+// The shared edge-case table, all pairs, through the tiled Batch drivers
+// (which also exercises partial final tiles).
+func TestSlabFP32EdgeCasesBatch(t *testing.T) {
+	var a, b []uint32
+	for _, x := range fpEdgeCases {
+		for _, y := range fpEdgeCases {
+			a = append(a, x)
+			b = append(b, y)
+		}
+	}
+	for _, k := range []int{1, 2, DefaultSlabWords} {
+		c := NewSlabCircuit(k)
+		got := make([]uint32, len(a))
+		c.MulFP32Batch(a, b, got)
+		checkSlabChain(t, "MulFP32Batch", k, a, b, true, got, c.Stats)
+
+		c.Stats = Stats{}
+		c.AddFP32Batch(a, b, got)
+		checkSlabChain(t, "AddFP32Batch", k, a, b, false, got, c.Stats)
+	}
+}
+
+// Integer blocks: each slab block must match the sliced block per word
+// column, in both value and Stats.
+func TestSlabIntBlocksDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const width = 16
+	for _, k := range []int{1, 2, 4} {
+		for trial := 0; trial < 6; trial++ {
+			n := 1 + rng.Intn(k*Lanes)
+			av := make([]uint64, n)
+			bv := make([]uint64, n)
+			shv := make([]uint64, n)
+			for i := range av {
+				av[i] = uint64(rng.Intn(1 << width))
+				bv[i] = uint64(rng.Intn(1 << width))
+				shv[i] = uint64(rng.Intn(1 << 5))
+			}
+
+			sc := NewSlabCircuit(k)
+			mask := sc.SlabMask(n)
+			aPl := sc.PackSlab(av, width)
+			bPl := sc.PackSlab(bv, width)
+			shPl := sc.PackSlab(shv, 5)
+			sum := sc.AddBits(mask, aPl, bPl, sc.zeroSlab())
+			diff, ge := sc.SubBits(mask, aPl, bPl)
+			prod := sc.MulBits(mask, aPl, bPl)
+			shr, stk := sc.ShiftRightBits(mask, aPl, shPl)
+			shl := sc.ShiftLeftBits(mask, aPl, shPl)
+			lz := sc.LeadingZeros(mask, aPl)
+			inc := sc.IncBits(mask, aPl)
+			muxed := sc.MuxBits(mask, ge, aPl, bPl)
+
+			var c Circuit
+			for l := 0; l < n; l++ {
+				a := BitsFromUint(av[l], width)
+				b := BitsFromUint(bv[l], width)
+				sh := BitsFromUint(shv[l], 5)
+				if got, want := sum.Lane(l), c.AddBits(a, b, false).Uint(); got != want {
+					t.Fatalf("K=%d AddBits lane %d: %x != %x", k, l, got, want)
+				}
+				wd, wge := c.SubBits(a, b)
+				if got := diff.Lane(l); got != wd.Uint() {
+					t.Fatalf("K=%d SubBits lane %d: %x != %x", k, l, got, wd.Uint())
+				}
+				if got := maskBit(ge, l); got != wge {
+					t.Fatalf("K=%d SubBits noBorrow lane %d: %v != %v", k, l, got, wge)
+				}
+				if got, want := prod.Lane(l), c.MulBits(a, b).Uint(); got != want {
+					t.Fatalf("K=%d MulBits lane %d: %x != %x", k, l, got, want)
+				}
+				wshr, wstk := c.ShiftRightBits(a, sh)
+				if got := shr.Lane(l); got != wshr.Uint() {
+					t.Fatalf("K=%d ShiftRightBits lane %d: %x != %x", k, l, got, wshr.Uint())
+				}
+				if got := maskBit(stk, l); got != wstk {
+					t.Fatalf("K=%d sticky lane %d: %v != %v", k, l, got, wstk)
+				}
+				if got, want := shl.Lane(l), c.ShiftLeftBits(a, sh).Uint(); got != want {
+					t.Fatalf("K=%d ShiftLeftBits lane %d: %x != %x", k, l, got, want)
+				}
+				if got, want := lz.Lane(l), c.LeadingZeros(a).Uint(); got != want {
+					t.Fatalf("K=%d LeadingZeros lane %d: %d != %d", k, l, got, want)
+				}
+				if got, want := inc.Lane(l), (av[l]+1)&((1<<(width+1))-1); got != want {
+					t.Fatalf("K=%d IncBits lane %d: %x != %x", k, l, got, want)
+				}
+				gotMux := muxed.Lane(l) // MUX: a where sel=0, b where sel=1
+				if wge && gotMux != bv[l] || !wge && gotMux != av[l] {
+					t.Fatalf("K=%d MuxBits lane %d: %x (ge=%v a=%x b=%x)", k, l, gotMux, wge, av[l], bv[l])
+				}
+			}
+		}
+	}
+}
+
+// Batch drivers tile correctly at lengths that are not slab multiples,
+// and repeated batches reuse the arena (no growth after warm-up).
+func TestSlabBatchTiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	c := NewSlabCircuit(2)
+	for _, n := range []int{1, 63, 64, 65, 128, 129, 200, 500} {
+		a := make([]uint32, n)
+		b := make([]uint32, n)
+		for i := range a {
+			a[i], b[i] = randFP32(rng), randFP32(rng)
+		}
+		got := make([]uint32, n)
+		c.MulFP32Batch(a, b, got)
+		want, _ := scalarLanes((*Circuit).MulFP32, a, b)
+		for l := range want {
+			if got[l] != want[l] {
+				t.Fatalf("n=%d lane %d: batch %08x, scalar %08x", n, l, got[l], want[l])
+			}
+		}
+	}
+	// Arena is recycled between tiles: a second identical batch must not
+	// grow the backing store.
+	a := make([]uint32, 4*c.SlabLanes())
+	b := make([]uint32, len(a))
+	for i := range a {
+		a[i], b[i] = randFP32(rng), randFP32(rng)
+	}
+	out := make([]uint32, len(a))
+	c.AddFP32Batch(a, b, out)
+	grown := len(c.arena)
+	c.AddFP32Batch(a, b, out)
+	if len(c.arena) != grown {
+		t.Errorf("arena grew across identical batches: %d -> %d words", grown, len(c.arena))
+	}
+}
+
+// Construction, packing and masking edges.
+func TestSlabEdges(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewSlabCircuit(0) should panic")
+			}
+		}()
+		NewSlabCircuit(0)
+	}()
+	c := NewSlabCircuit(3)
+	if c.SlabLanes() != 192 {
+		t.Fatalf("SlabLanes = %d, want 192", c.SlabLanes())
+	}
+	if got := c.MulFP32Slab(nil, nil); len(got) != 0 {
+		t.Errorf("empty slab mul: %v", got)
+	}
+	if got := c.AddFP32Slab(nil, nil); len(got) != 0 {
+		t.Errorf("empty slab add: %v", got)
+	}
+	got := c.MulFloat32Batch([]float32{3, -2}, []float32{4, 0.5})
+	if len(got) != 2 || got[0] != 12 || got[1] != -1 {
+		t.Errorf("MulFloat32Batch: %v", got)
+	}
+	got = c.AddFloat32Batch([]float32{1.5}, []float32{2.25})
+	if len(got) != 1 || got[0] != 3.75 {
+		t.Errorf("AddFloat32Batch: %v", got)
+	}
+	// Pack/Lane roundtrip across word boundaries.
+	vals := make([]uint64, 150)
+	rng := rand.New(rand.NewSource(15))
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1 << 20))
+	}
+	pl := c.PackSlab(vals, 20)
+	for l, v := range vals {
+		if pl.Lane(l) != v {
+			t.Fatalf("PackSlab/Lane roundtrip lane %d: %x != %x", l, pl.Lane(l), v)
+		}
+	}
+	m := c.SlabMask(100)
+	for l := 0; l < c.SlabLanes(); l++ {
+		if maskBit(m, l) != (l < 100) {
+			t.Fatalf("SlabMask(100) wrong at lane %d", l)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"wavepim/internal/pim/fault"
 	"wavepim/internal/pim/intercon"
 	"wavepim/internal/pim/isa"
+	"wavepim/internal/pim/nor"
 	"wavepim/internal/pim/xbar"
 )
 
@@ -70,6 +71,24 @@ type Engine struct {
 	// energies, worker-pool occupancy). Nil disables all instrumentation;
 	// the nil path is the uninstrumented hot path.
 	Obs *obs.Sink
+
+	// SlabWords > 0 routes every functional arithmetic instruction
+	// (OpAdd/OpSub/OpMul) through the K-word bit-sliced NOR slab
+	// substrate instead of host floating point: operands are gathered
+	// into SlabWords*64-lane slabs and computed by the gate-level
+	// IEEE-754 programs of internal/pim/nor, with gate activity
+	// accumulated in NORGateStats. Results are bit-identical to the
+	// host-float path (the substrate's fidelity is property-tested
+	// against hardware floats); timing and energy charging are
+	// unchanged. 0 keeps the host-float fast path. Timing-only engines
+	// ignore the setting.
+	SlabWords int
+	// norUnits pools one gather/compute unit per in-flight instruction,
+	// so the slab path stays allocation-free under the worker pool.
+	norUnits sync.Pool
+	// norEvals/norSets/norResets accumulate gate-level activity from the
+	// slab path (atomically: block programs run concurrently).
+	norEvals, norSets, norResets int64
 
 	// Log, when non-nil, receives structured events: one per recovery
 	// rung firing (with block, rung, and simulated-time cost). Nil is
@@ -749,11 +768,11 @@ func (e *Engine) execInstr(blockID int, in isa.Instr) {
 	case isa.OpBroadcast:
 		b.Broadcast(in.Row, in.RowStart, in.RowCount, in.SrcOff, in.DstOff, in.WordCount)
 	case isa.OpAdd:
-		b.ArithSel(xbar.OpAdd, in.RowStart, in.RowCount, in.DstOff, in.SrcOff, in.Src2Off)
+		e.arith(b, xbar.OpAdd, in)
 	case isa.OpMul:
-		b.ArithSel(xbar.OpMul, in.RowStart, in.RowCount, in.DstOff, in.SrcOff, in.Src2Off)
+		e.arith(b, xbar.OpMul, in)
 	case isa.OpSub:
-		b.ArithSel(xbar.OpSub, in.RowStart, in.RowCount, in.DstOff, in.SrcOff, in.Src2Off)
+		e.arith(b, xbar.OpSub, in)
 	case isa.OpGroupBcast:
 		b.GroupBcast(in.RowStart, in.RowCount, in.SrcOff, in.DstOff, in.Stride, in.GroupSize, in.GroupIdx)
 	case isa.OpPattern:
@@ -770,6 +789,38 @@ func (e *Engine) execInstr(blockID int, in isa.Instr) {
 		dst := e.Chip.Block(in.DstBlock)
 		dst.LoadBuffer(src.Buffer())
 		dst.WriteRow(in.DstRow)
+	}
+}
+
+// arith dispatches one row-parallel arithmetic instruction: the host-float
+// fast path by default, or the gate-level NOR slab substrate when
+// SlabWords is set. Pool units are per-instruction, so the worker pool
+// never shares a circuit.
+func (e *Engine) arith(b *xbar.Block, op xbar.ArithOp, in isa.Instr) {
+	if e.SlabWords <= 0 {
+		b.ArithSel(op, in.RowStart, in.RowCount, in.DstOff, in.SrcOff, in.Src2Off)
+		return
+	}
+	u, _ := e.norUnits.Get().(*xbar.NORUnit)
+	if u == nil || u.SlabWords() != e.SlabWords {
+		u = xbar.NewNORUnit(e.SlabWords)
+	}
+	u.C.Stats = nor.Stats{}
+	b.ArithSelNOR(u, op, in.RowStart, in.RowCount, in.DstOff, in.SrcOff, in.Src2Off)
+	st := u.C.Stats
+	atomic.AddInt64(&e.norEvals, st.NOREvals)
+	atomic.AddInt64(&e.norSets, st.Sets)
+	atomic.AddInt64(&e.norResets, st.Resets)
+	e.norUnits.Put(u)
+}
+
+// NORGateStats returns the gate-level activity accumulated by the slab
+// substrate since the last Reset (all zero on the host-float path).
+func (e *Engine) NORGateStats() nor.Stats {
+	return nor.Stats{
+		NOREvals: atomic.LoadInt64(&e.norEvals),
+		Sets:     atomic.LoadInt64(&e.norSets),
+		Resets:   atomic.LoadInt64(&e.norResets),
 	}
 }
 
@@ -934,6 +985,9 @@ func (e *Engine) Reset() {
 	e.DRAMBytes = 0
 	e.err = nil
 	e.pendingFault = nil
+	atomic.StoreInt64(&e.norEvals, 0)
+	atomic.StoreInt64(&e.norSets, 0)
+	atomic.StoreInt64(&e.norResets, 0)
 }
 
 // PublishTotals writes the engine's run-level aggregates into the attached
@@ -950,6 +1004,13 @@ func (e *Engine) PublishTotals() {
 	e.Obs.Gauge("sim.transfer_count").Set(float64(e.TransferCt))
 	e.Obs.Gauge("sim.dram_bytes").Set(float64(e.DRAMBytes))
 	e.Obs.Gauge("sim.workers").Set(float64(e.Workers))
+	if e.SlabWords > 0 {
+		st := e.NORGateStats()
+		e.Obs.Gauge("sim.nor.slab_words").Set(float64(e.SlabWords))
+		e.Obs.Gauge("sim.nor.gate_evals").Set(float64(st.NOREvals))
+		e.Obs.Gauge("sim.nor.gate_sets").Set(float64(st.Sets))
+		e.Obs.Gauge("sim.nor.gate_resets").Set(float64(st.Resets))
+	}
 	if e.Faults != nil {
 		r := e.FaultReport()
 		e.Obs.Gauge("sim.fault.flips").Set(float64(r.Counts.Flips))

@@ -1,0 +1,86 @@
+package xbar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randFinite32 draws a finite float32 bit pattern spanning normals,
+// subnormals and zeros (no NaN/Inf: the slab substrate canonicalizes NaN
+// payloads, which the hardware path does not promise either way).
+func randFinite32(rng *rand.Rand) uint32 {
+	for {
+		v := rng.Uint32()
+		if v&0x7F800000 != 0x7F800000 {
+			return v
+		}
+	}
+}
+
+// ArithSelNOR must be a drop-in for ArithSel: identical result bits in the
+// destination column, identical Stats charging, for all three ops, slab
+// widths and partial row ranges.
+func TestArithSelNORMatchesArithSel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, k := range []int{1, 2, 8} {
+		u := NewNORUnit(k)
+		if u.SlabWords() != k {
+			t.Fatalf("SlabWords = %d, want %d", u.SlabWords(), k)
+		}
+		for _, op := range []ArithOp{OpAdd, OpSub, OpMul} {
+			for _, span := range []struct{ start, count int }{
+				{0, 1}, {0, 64}, {5, 100}, {900, 124},
+			} {
+				host, gate := New(0), New(1)
+				for r := span.start; r < span.start+span.count; r++ {
+					a, b := randFinite32(rng), randFinite32(rng)
+					host.SetWord(r, 3, a)
+					host.SetWord(r, 4, b)
+					gate.SetWord(r, 3, a)
+					gate.SetWord(r, 4, b)
+				}
+				hostBase, gateBase := host.Stats, gate.Stats
+				host.ArithSel(op, span.start, span.count, 7, 3, 4)
+				gate.ArithSelNOR(u, op, span.start, span.count, 7, 3, 4)
+				for r := span.start; r < span.start+span.count; r++ {
+					hw, gw := host.GetWord(r, 7), gate.GetWord(r, 7)
+					if hw != gw {
+						t.Fatalf("K=%d op=%d row %d: gate %08x, host %08x (a=%g b=%g)",
+							k, op, r, gw, hw,
+							math.Float32frombits(host.GetWord(r, 3)),
+							math.Float32frombits(host.GetWord(r, 4)))
+					}
+				}
+				hd, gd := host.Stats, gate.Stats
+				hd.BusySec -= hostBase.BusySec
+				gd.BusySec -= gateBase.BusySec
+				if hd != gd {
+					t.Fatalf("K=%d op=%d stats diverge: gate %+v, host %+v", k, op, gd, hd)
+				}
+				if u.C.Stats.NOREvals == 0 {
+					t.Fatal("slab circuit recorded no gate activity")
+				}
+			}
+		}
+	}
+}
+
+// The staging buffers are reused, not reallocated, across calls.
+func TestNORUnitBufferReuse(t *testing.T) {
+	u := NewNORUnit(2)
+	b := New(0)
+	for r := 0; r < 128; r++ {
+		b.SetFloat(r, 0, float32(r))
+		b.SetFloat(r, 1, 2)
+	}
+	b.ArithSelNOR(u, OpMul, 0, 128, 2, 0, 1)
+	a1 := &u.av[0]
+	b.ArithSelNOR(u, OpAdd, 0, 100, 2, 0, 1)
+	if a1 != &u.av[0] {
+		t.Error("staging buffers reallocated for a smaller call")
+	}
+	if got := b.GetFloat(64, 2); got != 66 {
+		t.Errorf("add result = %g, want 66", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wavepim/internal/dg"
+	"wavepim/internal/dg/opcount"
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
 	"wavepim/internal/pim/chip"
@@ -332,6 +333,12 @@ type FunctionalElastic struct {
 	Place  *Placement
 	Engine *sim.Engine
 	Dt     float64
+
+	// plan holds the cached compilation artifacts (programs, dup/fetch
+	// schedules, program->block maps). CacheHit reports whether this
+	// system skipped compilation entirely.
+	plan     *elasticPlan
+	CacheHit bool
 }
 
 // NewFunctionalElastic builds the elastic functional system.
@@ -357,13 +364,20 @@ func newFunctionalElasticOn(cfg chip.Config, m *mesh.Mesh, mat material.Elastic,
 		return nil, err
 	}
 	plan := Plan{Tech: ExpandRows, Layout: ElasticFourBlock, SlotsPerElem: 4, Chip: cfg}
-	return &FunctionalElastic{
+	f := &FunctionalElastic{
 		Mesh: m, Mat: mat,
 		Comp:   NewCompiler(plan, m.Np, flux),
 		Place:  NewPlacement(ElasticFourBlock, m.EPerAxis, true),
 		Engine: newFunctionalEngine(ch),
 		Dt:     dt,
-	}, nil
+	}
+	eq := opcount.ElasticCentral
+	if flux == dg.RiemannFlux {
+		eq = opcount.ElasticRiemann
+	}
+	key := PlanKey{Eq: eq, Flux: flux, Np: m.Np, EPerAxis: m.EPerAxis, Chip: cfg.Name}
+	f.plan, f.CacheHit = elasticPlanFor(key, f.Comp, m, f.Place)
+	return f, nil
 }
 
 func (f *FunctionalElastic) roleBlock(e int, role BlockRole) int {
@@ -413,108 +427,29 @@ func (f *FunctionalElastic) LoadField(q *dg.ElasticState, field *material.Elasti
 	}
 }
 
-// Step runs one five-stage time-step.
+// Step runs one five-stage time-step. Every program and transfer
+// schedule comes precompiled from the plan cache — before the cache this
+// loop recompiled the three flux programs per element per face per stage
+// and rebuilt the dup/fetch schedules per stage, the dominant host-side
+// cost of a functional elastic run.
 func (f *FunctionalElastic) Step() {
 	eng := f.Engine
-	m := f.Mesh
-	nn := m.NodesPerEl
-	riemann := f.Comp.Flux == dg.RiemannFlux
-
-	volDiag := f.Comp.VolumeElasticDiag()
-	volShear := f.Comp.VolumeElasticShear()
-	volVel := f.Comp.VolumeElasticVel()
-
 	for s := 0; s < dg.NumStages; s++ {
 		// 1. Cross-block variable duplication (Figure 8's inter-block
 		// memcpy, heavier for elastic).
-		var dup []sim.RowTransfer
-		for e := 0; e < m.NumElem; e++ {
-			bd := f.roleBlock(e, RoleStressDiag)
-			bs := f.roleBlock(e, RoleStressShear)
-			bv := f.roleBlock(e, RoleVelocity)
-			for v := 0; v < 3; v++ {
-				dup = append(dup, columnTransfer(bv, bd, ExColVar0+v, ExColRemote+v, nn)...)
-				dup = append(dup, columnTransfer(bv, bs, ExColVar0+v, ExColRemote+v, nn)...)
-				dup = append(dup, columnTransfer(bd, bv, ExColVar0+v, ExColRemote+v, nn)...)
-				dup = append(dup, columnTransfer(bs, bv, ExColVar0+v, ExColRemote+3+v, nn)...)
-			}
-		}
-		eng.Sequence(eng.ExecTransfers("dup-vars", dup))
+		eng.Sequence(eng.ExecTransfers("dup-vars", f.plan.dup))
 
 		// 2. Volume on all three compute blocks concurrently.
-		progs := make(map[int][]isa.Instr)
-		for e := 0; e < m.NumElem; e++ {
-			progs[f.roleBlock(e, RoleStressDiag)] = volDiag
-			progs[f.roleBlock(e, RoleStressShear)] = volShear
-			progs[f.roleBlock(e, RoleVelocity)] = volVel
-		}
-		eng.Sequence(eng.ExecBlocks("volume", progs))
+		eng.Sequence(eng.ExecBlocks("volume", f.plan.volProgs))
 
 		// 3. Flux, face by face.
 		for face := mesh.Face(0); face < mesh.NumFaces; face++ {
-			a := face.Axis()
-			myRows := m.FaceNodes(face)
-			nbRows := m.FaceNodes(face.Opposite())
-			var fetch []sim.RowTransfer
-			fprogs := make(map[int][]isa.Instr)
-			move := func(srcBlk, srcOff, dstBlk, dstOff int) {
-				for g := range myRows {
-					fetch = append(fetch, sim.RowTransfer{
-						SrcBlock: srcBlk, SrcRow: nbRows[g], SrcOff: srcOff,
-						DstBlock: dstBlk, DstRow: myRows[g], DstOff: dstOff, Words: 1})
-				}
-			}
-			for e := 0; e < m.NumElem; e++ {
-				nb, ok := m.Neighbor(e, face)
-				if !ok {
-					continue
-				}
-				bd := f.roleBlock(e, RoleStressDiag)
-				bs := f.roleBlock(e, RoleStressShear)
-				bv := f.roleBlock(e, RoleVelocity)
-				nbd := f.roleBlock(nb, RoleStressDiag)
-				nbs := f.roleBlock(nb, RoleStressShear)
-				nbv := f.roleBlock(nb, RoleVelocity)
-				// Bd: neighbor v[a]; Riemann also neighbor sigma_aa.
-				move(nbv, ExColVar0+int(a), bd, ExColNbr0)
-				if riemann {
-					move(nbd, ExColVar0+int(a), bd, ExColNbr1)
-				}
-				// Bs: neighbor v[j]; Riemann also neighbor sigma_aj.
-				for idx, j := range otherAxes(a) {
-					move(nbv, ExColVar0+j, bs, ExColNbr0+idx)
-					if riemann {
-						move(nbs, ExColVar0+shearVar(int(a), j), bs, ExColD+1+idx)
-					}
-				}
-				// Bv: neighbor sigma_ia; Riemann also neighbor v_i.
-				for i := 0; i < 3; i++ {
-					if i == int(a) {
-						move(nbd, ExColVar0+i, bv, ExColD+1+i)
-					} else {
-						move(nbs, ExColVar0+shearVar(i, int(a)), bv, ExColD+1+i)
-					}
-					if riemann {
-						move(nbv, ExColVar0+i, bv, ExColD+4+i)
-					}
-				}
-				fprogs[bd] = f.Comp.FluxElasticDiag(face)
-				fprogs[bs] = f.Comp.FluxElasticShear(face)
-				fprogs[bv] = f.Comp.FluxElasticVel(face)
-			}
-			eng.Sequence(eng.ExecTransfers(fmt.Sprintf("flux-fetch-%v", face), fetch))
-			eng.Sequence(eng.ExecBlocks(fmt.Sprintf("flux-%v", face), fprogs))
+			eng.Sequence(eng.ExecTransfers(fmt.Sprintf("flux-fetch-%v", face), f.plan.fetch[face]))
+			eng.Sequence(eng.ExecBlocks(fmt.Sprintf("flux-%v", face), f.plan.fluxProgs[face]))
 		}
 
 		// 4. Integration on all blocks.
-		integ := f.Comp.IntegrationElastic(s)
-		iprogs := make(map[int][]isa.Instr)
-		for e := 0; e < m.NumElem; e++ {
-			for _, role := range elasticComputeRoles {
-				iprogs[f.roleBlock(e, role)] = integ
-			}
-		}
-		eng.Sequence(eng.ExecBlocks("integration", iprogs))
+		eng.Sequence(eng.ExecBlocks("integration", f.plan.integProgs[s]))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wavepim/internal/dg"
+	"wavepim/internal/dg/opcount"
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
 	"wavepim/internal/pim/chip"
@@ -201,6 +202,12 @@ type FunctionalMaxwell struct {
 	Place  *Placement
 	Engine *sim.Engine
 	Dt     float64
+
+	// plan holds the cached compilation artifacts (programs, dup/fetch
+	// schedules, program->block maps). CacheHit reports whether this
+	// system skipped compilation entirely.
+	plan     *maxwellPlan
+	CacheHit bool
 }
 
 // NewFunctionalMaxwell builds the system (four-slot elements, two compute
@@ -227,13 +234,16 @@ func newFunctionalMaxwellOn(cfg chip.Config, m *mesh.Mesh, mat material.Dielectr
 		return nil, err
 	}
 	plan := Plan{Tech: ExpandRows, Layout: ElasticFourBlock, SlotsPerElem: 4, Chip: cfg}
-	return &FunctionalMaxwell{
+	f := &FunctionalMaxwell{
 		Mesh: m, Mat: mat,
 		Comp:   NewCompiler(plan, m.Np, flux),
 		Place:  NewPlacement(ElasticFourBlock, m.EPerAxis, true),
 		Engine: newFunctionalEngine(ch),
 		Dt:     dt,
-	}, nil
+	}
+	key := PlanKey{Eq: opcount.Maxwell, Flux: flux, Np: m.Np, EPerAxis: m.EPerAxis, Chip: cfg.Name}
+	f.plan, f.CacheHit = maxwellPlanFor(key, f.Comp, m, f.Place)
+	return f, nil
 }
 
 func (f *FunctionalMaxwell) blockOf(e int, eBlock bool) int {
@@ -266,69 +276,24 @@ func (f *FunctionalMaxwell) Load(q *dg.MaxwellState) {
 	}
 }
 
-// Step runs one five-stage time-step.
+// Step runs one five-stage time-step. Every program and transfer
+// schedule comes precompiled from the plan cache — before the cache this
+// loop recompiled the flux programs per element per face per stage and
+// rebuilt the dup/fetch schedules per stage.
 func (f *FunctionalMaxwell) Step() {
 	eng := f.Engine
-	m := f.Mesh
-	nn := m.NodesPerEl
-	volE := f.Comp.VolumeMaxwell(true)
-	volH := f.Comp.VolumeMaxwell(false)
-
 	for s := 0; s < dg.NumStages; s++ {
 		// Cross-block field duplication.
-		var dup []sim.RowTransfer
-		for e := 0; e < m.NumElem; e++ {
-			eb, hb := f.blockOf(e, true), f.blockOf(e, false)
-			for v := 0; v < 3; v++ {
-				dup = append(dup, columnTransfer(hb, eb, ExColVar0+v, ExColRemote+v, nn)...)
-				dup = append(dup, columnTransfer(eb, hb, ExColVar0+v, ExColRemote+v, nn)...)
-			}
-		}
-		eng.Sequence(eng.ExecTransfers("dup-fields", dup))
+		eng.Sequence(eng.ExecTransfers("dup-fields", f.plan.dup))
 
-		progs := make(map[int][]isa.Instr)
-		for e := 0; e < m.NumElem; e++ {
-			progs[f.blockOf(e, true)] = volE
-			progs[f.blockOf(e, false)] = volH
-		}
-		eng.Sequence(eng.ExecBlocks("volume", progs))
+		eng.Sequence(eng.ExecBlocks("volume", f.plan.volProgs))
 
 		for face := mesh.Face(0); face < mesh.NumFaces; face++ {
-			a := int(face.Axis())
-			bb, cc := (a+1)%3, (a+2)%3
-			myRows := m.FaceNodes(face)
-			nbRows := m.FaceNodes(face.Opposite())
-			var fetch []sim.RowTransfer
-			fprogs := make(map[int][]isa.Instr)
-			move := func(srcBlk, srcOff, dstBlk, dstOff int) {
-				for g := range myRows {
-					fetch = append(fetch, sim.RowTransfer{
-						SrcBlock: srcBlk, SrcRow: nbRows[g], SrcOff: srcOff,
-						DstBlock: dstBlk, DstRow: myRows[g], DstOff: dstOff, Words: 1})
-				}
-			}
-			for e := 0; e < m.NumElem; e++ {
-				nb, _ := m.Neighbor(e, face)
-				for _, eBlock := range []bool{true, false} {
-					dst := f.blockOf(e, eBlock)
-					move(f.blockOf(nb, true), ExColVar0+bb, dst, ExColNbr0)
-					move(f.blockOf(nb, true), ExColVar0+cc, dst, ExColNbr1)
-					move(f.blockOf(nb, false), ExColVar0+bb, dst, ExColD+1)
-					move(f.blockOf(nb, false), ExColVar0+cc, dst, ExColD+2)
-					fprogs[dst] = f.Comp.FluxMaxwell(face, eBlock)
-				}
-			}
-			eng.Sequence(eng.ExecTransfers(fmt.Sprintf("flux-fetch-%v", face), fetch))
-			eng.Sequence(eng.ExecBlocks(fmt.Sprintf("flux-%v", face), fprogs))
+			eng.Sequence(eng.ExecTransfers(fmt.Sprintf("flux-fetch-%v", face), f.plan.fetch[face]))
+			eng.Sequence(eng.ExecBlocks(fmt.Sprintf("flux-%v", face), f.plan.fluxProgs[face]))
 		}
 
-		integ := f.Comp.IntegrationElastic(s) // three variables per block
-		iprogs := make(map[int][]isa.Instr)
-		for e := 0; e < m.NumElem; e++ {
-			iprogs[f.blockOf(e, true)] = integ
-			iprogs[f.blockOf(e, false)] = integ
-		}
-		eng.Sequence(eng.ExecBlocks("integration", iprogs))
+		eng.Sequence(eng.ExecBlocks("integration", f.plan.integProgs[s]))
 	}
 }
 

@@ -5,10 +5,10 @@ import (
 	"runtime"
 
 	"wavepim/internal/dg"
+	"wavepim/internal/dg/opcount"
 	"wavepim/internal/material"
 	"wavepim/internal/mesh"
 	"wavepim/internal/pim/chip"
-	"wavepim/internal/pim/isa"
 	"wavepim/internal/pim/sim"
 )
 
@@ -54,11 +54,12 @@ type FunctionalAcoustic struct {
 	Engine *sim.Engine
 	Dt     float64
 
-	volume []isa.Instr
-	flux   [mesh.NumFaces][]isa.Instr
-	fetch  [mesh.NumFaces][]sim.RowTransfer
-	integ  [dg.NumStages][]isa.Instr
-	blocks []int // block ID per element
+	// plan holds every compiled artifact (programs, transfer schedules,
+	// program->block maps), shared read-only through the process-wide
+	// plan cache. CacheHit reports whether this system skipped
+	// compilation entirely.
+	plan     *acousticPlan
+	CacheHit bool
 }
 
 // NewFunctionalAcoustic builds the functional system on a 512MB chip. The
@@ -92,19 +93,8 @@ func newFunctionalAcousticOn(cfg chip.Config, m *mesh.Mesh, mat material.Acousti
 		Engine: newFunctionalEngine(ch),
 		Dt:     dt,
 	}
-	f.volume = f.Comp.VolumeOneBlock()
-	for face := mesh.Face(0); face < mesh.NumFaces; face++ {
-		f.flux[face] = f.Comp.FluxOneBlock(face)
-		f.fetch[face] = f.Comp.FluxTransfersOneBlock(m, f.Place, face, true)
-	}
-	for s := 0; s < dg.NumStages; s++ {
-		f.integ[s] = f.Comp.IntegrationOneBlock(s)
-	}
-	f.blocks = make([]int, m.NumElem)
-	for e := range f.blocks {
-		ex, ey, ez := m.ElemCoords(e)
-		f.blocks[e] = f.Place.BlockFor(ex, ey, ez, RoleAll)
-	}
+	key := PlanKey{Eq: opcount.Acoustic, Flux: flux, Np: m.Np, EPerAxis: m.EPerAxis, Chip: cfg.Name}
+	f.plan, f.CacheHit = acousticPlanFor(key, f.Comp, m, f.Place)
 	return f, nil
 }
 
@@ -119,31 +109,23 @@ func (f *FunctionalAcoustic) Load(q *dg.AcousticState) {
 // every element's block holds its own material-derived constants, which
 // is what makes layered media free on the PIM side).
 func (f *FunctionalAcoustic) LoadField(q *dg.AcousticState, field *material.AcousticField) {
-	for e, blk := range f.blocks {
+	for e, blk := range f.plan.blocks {
 		b := f.Engine.Chip.Block(blk)
 		f.Comp.LoadAcousticConstants(b, f.Mesh, field.ByElem[e], f.Dt)
 		f.Comp.LoadAcousticState(b, q, e)
 	}
 }
 
-// progsFor maps every element block to the same program template.
-func (f *FunctionalAcoustic) progsFor(prog []isa.Instr) map[int][]isa.Instr {
-	m := make(map[int][]isa.Instr, len(f.blocks))
-	for _, blk := range f.blocks {
-		m[blk] = prog
-	}
-	return m
-}
-
 // RHSOnce executes Volume plus all six Flux sub-phases, leaving the RHS in
 // the contribution columns (no integration). Used by kernel-level
-// verification tests.
+// verification tests. All programs and schedules come precompiled from
+// the plan cache — nothing is built per call.
 func (f *FunctionalAcoustic) RHSOnce() {
 	e := f.Engine
-	e.Sequence(e.ExecBlocks("volume", f.progsFor(f.volume)))
+	e.Sequence(e.ExecBlocks("volume", f.plan.volProgs))
 	for face := mesh.Face(0); face < mesh.NumFaces; face++ {
-		e.Sequence(e.ExecTransfers(fmt.Sprintf("flux-fetch-%v", face), f.fetch[face]))
-		e.Sequence(e.ExecBlocks(fmt.Sprintf("flux-%v", face), f.progsFor(f.flux[face])))
+		e.Sequence(e.ExecTransfers(fmt.Sprintf("flux-fetch-%v", face), f.plan.fetch[face]))
+		e.Sequence(e.ExecBlocks(fmt.Sprintf("flux-%v", face), f.plan.fluxProgs[face]))
 	}
 }
 
@@ -152,7 +134,7 @@ func (f *FunctionalAcoustic) Step() {
 	e := f.Engine
 	for s := 0; s < dg.NumStages; s++ {
 		f.RHSOnce()
-		e.Sequence(e.ExecBlocks(fmt.Sprintf("integration-%d", s), f.progsFor(f.integ[s])))
+		e.Sequence(e.ExecBlocks(fmt.Sprintf("integration-%d", s), f.plan.integProgs[s]))
 	}
 }
 
@@ -165,14 +147,14 @@ func (f *FunctionalAcoustic) Run(n int) {
 
 // ReadState extracts the current variables into q.
 func (f *FunctionalAcoustic) ReadState(q *dg.AcousticState) {
-	for e, blk := range f.blocks {
+	for e, blk := range f.plan.blocks {
 		f.Comp.ReadAcousticState(f.Engine.Chip.Block(blk), q, e)
 	}
 }
 
 // ReadRHS extracts the contribution columns into rhs.
 func (f *FunctionalAcoustic) ReadRHS(rhs *dg.AcousticState) {
-	for e, blk := range f.blocks {
+	for e, blk := range f.plan.blocks {
 		f.Comp.ReadAcousticContrib(f.Engine.Chip.Block(blk), rhs, e)
 	}
 }
@@ -183,7 +165,7 @@ func (f *FunctionalAcoustic) ReadRHS(rhs *dg.AcousticState) {
 // exact: LSRK5A[0] = 0, so the first stage of the next step overwrites
 // them regardless of history.
 func (f *FunctionalAcoustic) WriteState(q *dg.AcousticState) {
-	for e, blk := range f.blocks {
+	for e, blk := range f.plan.blocks {
 		f.Comp.LoadAcousticState(f.Engine.Chip.Block(blk), q, e)
 	}
 }

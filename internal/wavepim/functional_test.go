@@ -131,15 +131,15 @@ func TestCompiledProgramShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vol := len(fa.volume)
-	flux := len(fa.flux[0])
-	integ := len(fa.integ[0])
+	vol := len(fa.plan.volume)
+	flux := len(fa.plan.flux[0])
+	integ := len(fa.plan.integ[0])
 	if vol <= flux || vol <= integ {
 		t.Errorf("Volume (%d instrs) should be the largest kernel (flux %d, integ %d)", vol, flux, integ)
 	}
 	// Riemann flux is strictly larger than central flux.
 	fa2, _ := NewFunctionalAcoustic(m, fnMat, dg.CentralFlux, 1e-3)
-	if len(fa2.flux[0]) >= flux {
-		t.Errorf("central flux (%d) should be smaller than Riemann (%d)", len(fa2.flux[0]), flux)
+	if len(fa2.plan.flux[0]) >= flux {
+		t.Errorf("central flux (%d) should be smaller than Riemann (%d)", len(fa2.plan.flux[0]), flux)
 	}
 }

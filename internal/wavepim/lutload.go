@@ -89,7 +89,7 @@ func (f *FunctionalAcoustic) LoadWithLUT(q *dg.AcousticState, field *material.Ac
 
 	progs := make(map[int][]isa.Instr, m.NumElem)
 	prog := lutFetchProgram(lutBlock)
-	for e, blk := range f.blocks {
+	for e, blk := range f.plan.blocks {
 		b := f.Engine.Chip.Block(blk)
 		// Geometry constants and state as usual.
 		f.Comp.LoadAcousticConstants(b, m, field.ByElem[e], f.Dt)
@@ -111,7 +111,7 @@ func (f *FunctionalAcoustic) LoadWithLUT(q *dg.AcousticState, field *material.Ac
 // VerifyLUTLoaded is a test hook: it checks one block's fetched constant
 // against the direct computation.
 func (f *FunctionalAcoustic) VerifyLUTLoaded(e int, field *material.AcousticField) bool {
-	b := f.Engine.Chip.Block(f.blocks[e])
+	b := f.Engine.Chip.Block(f.plan.blocks[e])
 	vals := f.Comp.acousticLUTValues(f.Mesh, field.ByElem[e])
 	for k := 0; k < lutFluxEntries; k++ {
 		if b.GetFloat(RowFluxConsts, k) != vals[k] {

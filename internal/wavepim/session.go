@@ -53,8 +53,9 @@ type sessionConfig struct {
 	flux    dg.FluxType
 	fluxSet bool
 	dt      float64
-	chip    *chip.Config
-	workers int
+	chip      *chip.Config
+	workers   int
+	slabWords int
 	sink    *obs.Sink
 	acMat   material.Acoustic
 	elMat   material.Elastic
@@ -107,6 +108,18 @@ func WithChip(cfg chip.Config) Option {
 // 1 forces serial block execution; results are bit-identical either way.
 func WithWorkers(n int) Option {
 	return func(c *sessionConfig) { c.workers = n }
+}
+
+// WithNORSlab routes every functional arithmetic instruction through the
+// words-wide bit-sliced NOR slab substrate (internal/pim/nor) instead of
+// host floating point: the run computes its FP32 adds and multiplies
+// gate-by-gate, words*64 lanes at a time, and accumulates gate-level
+// activity readable via Engine().NORGateStats(). Results are bit-identical
+// to the default path; timing and energy charging are unchanged.
+// nor.DefaultSlabWords is the tuned width; values < 1 keep the default
+// host-float path.
+func WithNORSlab(words int) Option {
+	return func(c *sessionConfig) { c.slabWords = words }
 }
 
 // WithObs attaches an observability sink. The engine records per-phase
@@ -241,6 +254,9 @@ func NewSession(opts ...Option) (*Session, error) {
 	if cfg.workers > 0 {
 		s.eng.Workers = cfg.workers
 	}
+	if cfg.slabWords > 0 {
+		s.eng.SlabWords = cfg.slabWords
+	}
 	s.eng.Obs = cfg.sink
 	s.eng.Log = cfg.log
 	if cfg.faults != nil || cfg.recovery != nil {
@@ -321,6 +337,20 @@ func (s *Session) Obs() *obs.Sink { return s.cfg.sink }
 
 // Equation returns the equation the session was built for.
 func (s *Session) Equation() opcount.Equation { return s.cfg.eq }
+
+// PlanCacheHit reports whether this session's compiled plan was served
+// from the process-wide plan cache (true for every session after the
+// first with the same equation, flux, order, mesh extent and chip —
+// construction then skips block-program compilation entirely).
+func (s *Session) PlanCacheHit() bool {
+	switch {
+	case s.ac != nil:
+		return s.ac.CacheHit
+	case s.el != nil:
+		return s.el.CacheHit
+	}
+	return s.mx.CacheHit
+}
 
 // Acoustic returns the compiled acoustic system, or nil if the session was
 // built for another equation. Use it to load initial state and read
@@ -599,6 +629,10 @@ func (s *Session) Publish() {
 	}
 	s.eng.PublishTotals()
 	s.eng.Chip.TotalBlockStats().Publish(sink.Reg)
+	pc := PlanCacheSnapshot()
+	sink.Gauge("wavepim.plan_cache.hits").Set(float64(pc.Hits))
+	sink.Gauge("wavepim.plan_cache.misses").Set(float64(pc.Misses))
+	sink.Gauge("wavepim.plan_cache.entries").Set(float64(pc.Entries))
 }
 
 // WriteTrace writes the engine's recorded phase spans as a Chrome

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench_regression_guard.sh — fail CI when the newest committed bench
+# artifact regresses any derived speedup relative to the previous one.
+#
+# The committed BENCH_pr*.json files form the performance trajectory: each
+# PR's artifact must not lose ground on the derived speedups it shares
+# with its predecessor. The comparison is between committed files (fully
+# deterministic in CI — no benchmarks run here); regenerate the newest
+# artifact with scripts/bench_trajectory.sh when the code legitimately
+# changes performance.
+#
+# A derived key counts as a speedup when its name contains "_speedup";
+# latency keys (*_ns) and overhead ratios are informational only. MARGIN
+# (default 0.15) absorbs cross-machine noise between the environments the
+# two artifacts were recorded on.
+#
+# Usage: scripts/bench_regression_guard.sh [margin]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MARGIN="${1:-0.15}" python3 - <<'EOF'
+import glob
+import json
+import os
+import re
+import sys
+
+files = sorted(glob.glob("BENCH_pr*.json"),
+               key=lambda f: int(re.search(r"pr(\d+)", f).group(1)))
+if len(files) < 2:
+    print(f"bench guard: {len(files)} artifact(s), nothing to compare")
+    sys.exit(0)
+
+prev_file, new_file = files[-2], files[-1]
+prev = json.load(open(prev_file))["derived"]
+new = json.load(open(new_file))["derived"]
+margin = float(os.environ["MARGIN"])
+
+shared = [k for k in prev if k in new and "_speedup" in k]
+if not shared:
+    sys.exit(f"bench guard: no shared *_speedup keys between {prev_file} and {new_file}")
+
+failed = False
+for k in shared:
+    floor = prev[k] * (1 - margin)
+    status = "ok" if new[k] >= floor else "REGRESSION"
+    print(f"  {k}: {prev_file} {prev[k]} -> {new_file} {new[k]} (floor {floor:.4f}) {status}")
+    if new[k] < floor:
+        failed = True
+
+if failed:
+    sys.exit(f"bench guard: {new_file} regresses derived speedups vs {prev_file}")
+print(f"bench guard: {new_file} holds the line vs {prev_file} ({len(shared)} speedups)")
+EOF

@@ -1,36 +1,50 @@
 #!/usr/bin/env bash
-# bench_trajectory.sh — record the performance trajectory the observability
-# PR cares about into a committed JSON artifact (BENCH_pr5.json):
+# bench_trajectory.sh — record the performance trajectory of the hot-path
+# work into a committed JSON artifact (BENCH_pr6.json):
 #
 #   * nil-sink instrumentation overhead (BenchmarkNilSinkOverhead pair)
-#   * scalar vs bit-sliced NOR fp32 arithmetic (Mul and Add)
-#   * serial vs parallel dG RHS evaluation (acoustic/elastic/maxwell)
+#   * scalar vs bit-sliced vs multi-slab NOR fp32 arithmetic (Mul and Add)
+#   * serial vs adaptive-parallel dG RHS evaluation (acoustic/elastic/maxwell)
+#   * cold vs warm (plan-cache hit) Session construction
 #
 # Each benchmark runs COUNT times and the *minimum* ns/op is kept — minima
 # are the least noisy statistic on shared runners. The JSON field order is
 # fixed (schema first, then benchmarks sorted as listed below, then derived
 # ratios) so diffs between regenerations stay readable.
 #
-# Usage: scripts/bench_trajectory.sh [count]   (writes $OUT, default BENCH_pr5.json)
+# Usage: scripts/bench_trajectory.sh [count]   (writes $OUT, default BENCH_pr6.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
-OUT="${OUT:-BENCH_pr5.json}"
+OUT="${OUT:-BENCH_pr6.json}"
 
 NIL=$(go test -run '^$' -bench '^BenchmarkNilSinkOverhead$' -count "$COUNT" \
 	-benchtime 1000000x ./internal/obs/)
 echo "$NIL"
-NOR=$(go test -run '^$' -bench '^BenchmarkNORFp32(Mul|Add)(Scalar|Sliced)$' \
+NOR=$(go test -run '^$' -bench '^BenchmarkNORFp32(Mul|Add)(Scalar|Sliced|Slab)$' \
 	-count "$COUNT" .)
 echo "$NOR"
-RHS=$(go test -run '^$' -bench '^BenchmarkRHS(Serial|Parallel)$' -count "$COUNT" .)
+# The serial/parallel RHS pairs are compared against each other, so they
+# are measured interleaved (one count per invocation, COUNT invocations):
+# with -count N the harness runs each benchmark N times consecutively,
+# and minutes of clock drift between the batches would swamp the few-
+# percent differences the derived ratios track.
+RHS=""
+for _ in $(seq "$COUNT"); do
+	RHS+=$(go test -run '^$' -bench '^BenchmarkRHS(Serial|Parallel)$' -count 1 .)
+	RHS+=$'\n'
+done
 echo "$RHS"
+PLAN=$(go test -run '^$' -bench '^BenchmarkSessionBuild(Cold|Warm)$' -count "$COUNT" \
+	./internal/wavepim/)
+echo "$PLAN"
 
 BENCH_OUT="$NIL
 $NOR
-$RHS" OUT="$OUT" COUNT="$COUNT" python3 - <<'EOF'
+$RHS
+$PLAN" OUT="$OUT" COUNT="$COUNT" python3 - <<'EOF'
 import json
 import os
 import sys
@@ -41,15 +55,23 @@ ORDER = [
     "NilSinkOverhead/nilsink",
     "NORFp32MulScalar",
     "NORFp32MulSliced",
+    "NORFp32MulSlab",
     "NORFp32AddScalar",
     "NORFp32AddSliced",
+    "NORFp32AddSlab",
     "RHSSerial/acoustic",
     "RHSParallel/acoustic",
     "RHSSerial/elastic",
     "RHSParallel/elastic",
     "RHSSerial/maxwell",
     "RHSParallel/maxwell",
+    "SessionBuildCold",
+    "SessionBuildWarm",
 ]
+
+# One slab iteration processes SLAB_WORDS x 64 operand pairs; the scalar
+# and sliced benchmarks process 64. Keep in sync with nor.DefaultSlabWords.
+SLAB_WORDS = 8
 
 mins = {}
 for line in os.environ["BENCH_OUT"].splitlines():
@@ -65,17 +87,22 @@ if missing:
     sys.exit(f"benchmark output missing {missing}")
 
 ratio = lambda a, b: round(mins[a] / mins[b], 4)
+slab_ratio = lambda a, b: round(mins[a] * SLAB_WORDS / mins[b], 4)
 doc = {
-    "schema": "wavepim-bench-trajectory/1",
+    "schema": "wavepim-bench-trajectory/2",
     "count": int(os.environ["COUNT"]),
     "benchmarks": [{"name": n, "ns_per_op": mins[n]} for n in ORDER],
     "derived": {
         "nil_sink_overhead_ratio": ratio("NilSinkOverhead/nilsink", "NilSinkOverhead/baseline"),
         "nor_mul_sliced_speedup": ratio("NORFp32MulScalar", "NORFp32MulSliced"),
         "nor_add_sliced_speedup": ratio("NORFp32AddScalar", "NORFp32AddSliced"),
+        "nor_mul_slab_speedup": slab_ratio("NORFp32MulScalar", "NORFp32MulSlab"),
+        "nor_add_slab_speedup": slab_ratio("NORFp32AddScalar", "NORFp32AddSlab"),
         "rhs_parallel_speedup_acoustic": ratio("RHSSerial/acoustic", "RHSParallel/acoustic"),
         "rhs_parallel_speedup_elastic": ratio("RHSSerial/elastic", "RHSParallel/elastic"),
         "rhs_parallel_speedup_maxwell": ratio("RHSSerial/maxwell", "RHSParallel/maxwell"),
+        "plan_cache_warm_speedup": ratio("SessionBuildCold", "SessionBuildWarm"),
+        "plan_cache_hit_ns": mins["SessionBuildWarm"],
     },
 }
 out = os.environ["OUT"]
