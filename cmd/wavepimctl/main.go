@@ -1,0 +1,79 @@
+// Command wavepimctl is the cluster coordinator: it shards simulation
+// jobs across a fleet of registered wavepimd workers with a
+// consistent-hash ring, applies per-tenant admission control with
+// priority queues on top of the workers' own backpressure, and
+// aggregates the fleet's telemetry into single deterministic views.
+//
+//	wavepimctl -addr :9090 &
+//	wavepimd -addr :8081 -coordinator http://127.0.0.1:9090 -name w1 &
+//	wavepimd -addr :8082 -coordinator http://127.0.0.1:9090 -name w2 &
+//	curl -s -X POST localhost:9090/jobs -d '{"equation":"acoustic","steps":4,"id":"demo-1"}'
+//	curl -s localhost:9090/jobs/demo-1
+//	curl -s localhost:9090/metrics | grep 'worker="w1"'
+//
+// Endpoints:
+//
+//	POST /jobs             submit a job; 202 + {"id": ...}. Resubmitting a
+//	                       finished job's id (or a content-identical spec)
+//	                       returns the cached report, byte-for-byte.
+//	GET  /jobs             list jobs in submission order
+//	GET  /jobs/{id}        one job (finished: the worker's report, verbatim)
+//	GET  /jobs/{id}/events the job's event stream, proxied from its worker
+//	POST /register         worker heartbeat
+//	POST /deregister       worker draining handoff
+//	GET  /workers          live membership
+//	GET  /metrics          aggregated Prometheus exposition (worker="..." labels)
+//	GET  /healthz, /readyz liveness and readiness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wavepim/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address")
+	ttl := flag.Duration("ttl", 10*time.Second, "worker heartbeat TTL")
+	dispatchers := flag.Int("dispatchers", 8, "concurrent dispatch loops")
+	maxQueued := flag.Int("max-queued", 1024, "per-tenant queued-job quota")
+	maxActive := flag.Int("max-active", 256, "per-tenant active-job quota")
+	flag.Parse()
+
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		TTL:         *ttl,
+		Dispatchers: *dispatchers,
+		Quota:       cluster.QuotaConfig{MaxQueued: *maxQueued, MaxActive: *maxActive},
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: coord.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "wavepimctl listening on %s\n", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sigCh:
+		coord.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,8 +1,11 @@
 // Command wavepimd is the long-running telemetry-serving daemon: it
 // executes functional Wave-PIM simulation jobs submitted over HTTP and
 // exposes the full observability surface of the reproduction —
-// Prometheus metrics, structured JSONL event logs, Chrome traces, and
-// fault flight-recorder dumps.
+// Prometheus metrics, structured JSONL event logs, live SSE event
+// streams, Chrome traces, and fault flight-recorder dumps. The daemon
+// logic lives in internal/serve; this shell parses flags, wires signals,
+// and (optionally) keeps the worker registered with a wavepimctl
+// coordinator.
 //
 //	wavepimd -addr :8080 &
 //	curl -s -X POST localhost:8080/runs -d '{"equation":"acoustic","steps":4,"faults":"seed=4,flip=1e-5,stuck=1e-6"}'
@@ -10,18 +13,21 @@
 //
 // Endpoints:
 //
-//	POST /runs             submit a job (jobSpec JSON); 202 + {"id": ...}
-//	GET  /runs             list runs with status and fault report
-//	GET  /runs/{id}        one run's status
-//	GET  /runs/{id}/trace  the run's Chrome trace (chrome://tracing)
-//	GET  /runs/{id}/flight the run's flight-recorder dump (404 if none)
-//	GET  /metrics          Prometheus text exposition (shared registry)
-//	GET  /healthz          liveness
-//	GET  /readyz           readiness (503 while draining)
-//	     /debug/pprof/*    Go runtime profiles
+//	POST /runs              submit a job (JobSpec JSON); 202 + {"id": ...}
+//	                        (resubmitting a client-supplied id: 200 + same id)
+//	GET  /runs              list runs with status and fault report
+//	GET  /runs/{id}         one run's status
+//	GET  /runs/{id}/events  the run's event log as SSE (replay + live follow)
+//	GET  /runs/{id}/trace   the run's Chrome trace (chrome://tracing)
+//	GET  /runs/{id}/flight  the run's flight-recorder dump (404 if none)
+//	GET  /metrics           Prometheus text exposition (shared registry)
+//	GET  /healthz           liveness
+//	GET  /readyz            readiness (503 while draining)
+//	     /debug/pprof/*     Go runtime profiles
 //
-// Shutdown (SIGINT/SIGTERM) is graceful: readiness flips to 503, queued
-// and in-flight runs drain, then the listener closes.
+// Shutdown (SIGINT/SIGTERM) is graceful: the worker deregisters from its
+// coordinator (if any), readiness flips to 503, queued and in-flight
+// runs drain, then the listener closes.
 package main
 
 import (
@@ -35,7 +41,9 @@ import (
 	"syscall"
 	"time"
 
+	"wavepim/internal/cluster"
 	"wavepim/internal/obs/eventlog"
+	"wavepim/internal/serve"
 )
 
 func main() {
@@ -44,21 +52,55 @@ func main() {
 	queue := flag.Int("queue", 16, "job queue capacity (submits beyond it get 503)")
 	traceCap := flag.Int("tracecap", 4096, "per-run span ring capacity")
 	logLevel := flag.String("loglevel", "info", "event log level: debug, info, warn, error")
+	coordinator := flag.String("coordinator", "", "wavepimctl base URL to register with (empty: standalone)")
+	name := flag.String("name", "", "worker id for cluster registration (default: the listen address)")
+	advertise := flag.String("advertise", "", "base URL the coordinator reaches this worker at (default: http://<addr>)")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "cluster re-registration interval")
 	flag.Parse()
 
-	srv := newServer(*workers, *queue, *traceCap, os.Stderr, eventlog.ParseLevel(*logLevel))
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	srv := serve.NewServer(serve.Options{
+		Workers:  *workers,
+		QueueCap: *queue,
+		TraceCap: *traceCap,
+		LogW:     os.Stderr,
+		Level:    eventlog.ParseLevel(*logLevel),
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	srv.log.Info("daemon.listening", eventlog.Str("addr", *addr), eventlog.Int("workers", *workers))
+	srv.Log().Info("daemon.listening", eventlog.Str("addr", *addr), eventlog.Int("workers", *workers))
+
+	var hb *cluster.Heartbeater
+	if *coordinator != "" {
+		id := *name
+		if id == "" {
+			id = *addr
+		}
+		url := *advertise
+		if url == "" {
+			url = "http://" + *addr
+		}
+		hb = &cluster.Heartbeater{Coordinator: *coordinator, ID: id, URL: url, Interval: *heartbeat}
+		if err := hb.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv.Log().Info("daemon.registered", eventlog.Str("coordinator", *coordinator), eventlog.Str("worker", id))
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		srv.log.Info("daemon.shutdown", eventlog.Str("signal", sig.String()))
-		srv.drain() // readiness flips to 503; queued + in-flight runs finish
+		srv.Log().Info("daemon.shutdown", eventlog.Str("signal", sig.String()))
+		if hb != nil {
+			hb.Stop()
+			if err := hb.Deregister(); err != nil {
+				srv.Log().Warn("daemon.deregister_failed", eventlog.Str("error", err.Error()))
+			}
+		}
+		srv.Drain() // readiness flips to 503; queued + in-flight runs finish
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Handler builds the coordinator's mux.
+//
+//	POST /jobs             submit a job (JobSpec JSON); 202 + {"id": ...};
+//	                       duplicates of a finished job: 200 + cached report
+//	GET  /jobs             list jobs in submission order
+//	GET  /jobs/{id}        one job (finished: the worker's report, verbatim)
+//	GET  /jobs/{id}/events the job's event stream, proxied from its worker
+//	POST /register         worker heartbeat (RegisterRequest JSON)
+//	POST /deregister       worker draining handoff
+//	GET  /workers          live membership, sorted by id
+//	GET  /metrics          aggregated Prometheus exposition (all workers + own)
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 once closed)
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", c.handleSubmit)
+	mux.HandleFunc("GET /jobs", c.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", c.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/events", c.handleJobEvents)
+	mux.HandleFunc("POST /register", c.handleRegister)
+	mux.HandleFunc("POST /deregister", c.handleDeregister)
+	mux.HandleFunc("GET /workers", c.handleWorkers)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", c.handleReadyz)
+	return mux
+}
+
+func coordError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeTerminal writes a finished job: the worker's report bytes
+// verbatim when present (so two reads of the same finished job — or a
+// resubmission of its id — are byte-identical), the view otherwise.
+func writeTerminal(w http.ResponseWriter, j *cjob) {
+	j.mu.Lock()
+	result := j.result
+	j.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if result != nil {
+		w.Write(result)
+		return
+	}
+	json.NewEncoder(w).Encode(j.view())
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<20)).Decode(&spec); err != nil {
+		coordError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if _, ok := EquationOf(spec.Equation); !ok {
+		coordError(w, http.StatusBadRequest, "unknown equation %q", spec.Equation)
+		return
+	}
+	j, existed, err := c.Submit(spec)
+	if err != nil {
+		var quota *ErrQuota
+		switch {
+		case errors.As(err, &quota):
+			coordError(w, http.StatusTooManyRequests, "%v", err)
+		case isParseErr(err):
+			coordError(w, http.StatusBadRequest, "%v", err)
+		default:
+			coordError(w, http.StatusServiceUnavailable, "%v", err)
+		}
+		return
+	}
+	j.mu.Lock()
+	status := j.status
+	j.mu.Unlock()
+	if status == "done" || status == "failed" {
+		// Duplicate of a finished job or a content-cache hit: the report,
+		// byte-for-byte.
+		writeTerminal(w, j)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !existed {
+		w.WriteHeader(http.StatusAccepted)
+	}
+	json.NewEncoder(w).Encode(map[string]string{"id": j.id, "status": status})
+}
+
+// isParseErr reports whether the submit error came from spec parsing
+// (bad id or priority) rather than admission state.
+func isParseErr(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "job id") || strings.Contains(s, "priority")
+}
+
+func (c *Coordinator) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(c.Jobs())
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, req *http.Request) {
+	j, ok := c.Job(req.PathValue("id"))
+	if !ok {
+		coordError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	terminal := j.status == "done" || j.status == "failed"
+	j.mu.Unlock()
+	if terminal {
+		writeTerminal(w, j)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j.view())
+}
+
+// handleJobEvents proxies the owning worker's SSE stream for a job.
+func (c *Coordinator) handleJobEvents(w http.ResponseWriter, req *http.Request) {
+	j, ok := c.Job(req.PathValue("id"))
+	if !ok {
+		coordError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	workerID := j.worker
+	j.mu.Unlock()
+	var workerURL string
+	for _, wk := range c.reg.Workers() {
+		if wk.ID == workerID {
+			workerURL = wk.URL
+			break
+		}
+	}
+	if workerURL == "" {
+		coordError(w, http.StatusNotFound, "job has no live worker (status %s)", j.view().Status)
+		return
+	}
+	// SSE streams outlive any sane control-plane timeout; use a bare
+	// client and tie the upstream to the downstream request context.
+	up, err := http.NewRequestWithContext(req.Context(), "GET", workerURL+"/runs/"+j.id+"/events", nil)
+	if err != nil {
+		coordError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	resp, err := http.DefaultTransport.RoundTrip(up)
+	if err != nil {
+		coordError(w, http.StatusBadGateway, "worker stream: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		coordError(w, http.StatusBadGateway, "worker stream: status %d", resp.StatusCode)
+		return
+	}
+	SSEHeaders(w)
+	w.WriteHeader(http.StatusOK)
+	ProxySSE(w, resp.Body)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, req *http.Request) {
+	var r RegisterRequest
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<16)).Decode(&r); err != nil {
+		coordError(w, http.StatusBadRequest, "bad register body: %v", err)
+		return
+	}
+	if r.ID == "" || r.URL == "" {
+		coordError(w, http.StatusBadRequest, "register needs id and url")
+		return
+	}
+	isNew := c.reg.Heartbeat(r.ID, r.URL)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]bool{"new": isNew})
+}
+
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, req *http.Request) {
+	var r RegisterRequest
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<16)).Decode(&r); err != nil {
+		coordError(w, http.StatusBadRequest, "bad deregister body: %v", err)
+		return
+	}
+	was := c.reg.Deregister(r.ID)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]bool{"removed": was})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(c.reg.Workers())
+}
+
+// handleMetrics aggregates every live worker's exposition with the
+// coordinator's own registry into one byte-deterministic exposition:
+// worker samples gain worker="<id>" labels; given the same reachable
+// workers in the same states, two scrapes are identical bytes.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	workers := c.reg.Workers()
+	d := c.adm.Depths()
+	c.metrics.Gauge("wavepimctl.workers").Set(float64(len(workers)))
+	c.metrics.Gauge("wavepimctl.queue_depth").Set(float64(d.Queued))
+
+	var own bytes.Buffer
+	if err := c.metrics.WriteProm(&own); err != nil {
+		coordError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	sources := []PromSource{{Label: "", Text: own.String()}}
+	for _, wk := range workers { // sorted by ID
+		code, body, err := c.do("GET", wk.URL+"/metrics", nil)
+		if err != nil || code != http.StatusOK {
+			continue // an unreachable worker drops out; its TTL will evict it
+		}
+		sources = append(sources, PromSource{Label: wk.ID, Text: string(body)})
+	}
+	var merged bytes.Buffer
+	if err := MergeProm(&merged, sources); err != nil {
+		coordError(w, http.StatusBadGateway, "merge: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(merged.Bytes())
+}
+
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	select {
+	case <-c.ctx.Done():
+		coordError(w, http.StatusServiceUnavailable, "closed")
+	default:
+		io.WriteString(w, "ready\n")
+	}
+}

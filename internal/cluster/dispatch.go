@@ -1,0 +1,385 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"wavepim/internal/obs"
+)
+
+// The coordinator. Submissions pass per-tenant admission control, wait
+// in priority queues, and are dispatched to the consistent-hash owner of
+// their job id. Dispatch is at-least-once on top of the workers'
+// idempotent /runs: a forwarding or polling failure marks the worker
+// dead, rebalances the ring, and requeues the job at the front of its
+// class, so an accepted job is never dropped — it lands on the next
+// owner and (thanks to the client-supplied id) never runs twice on the
+// same worker.
+
+// cjob is one coordinator-tracked job.
+type cjob struct {
+	mu       sync.Mutex
+	id       string
+	tenant   string
+	priority Priority
+	digest   uint64
+	body     []byte // canonical forward body (spec with normalized id)
+	status   string // "queued", "dispatched", "done", "failed"
+	worker   string // current/last owner id
+	errMsg   string
+	cached   bool   // served from the content-addressed result cache
+	result   []byte // owning worker's terminal GET /runs/{id} bytes
+}
+
+// JobView is the JSON shape of a job in /jobs listings. Field order is
+// fixed by the struct.
+type JobView struct {
+	ID       string `json:"id"`
+	Status   string `json:"status"`
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority"`
+	Worker   string `json:"worker,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Cached   bool   `json:"cached"`
+	Digest   string `json:"digest"`
+}
+
+func (j *cjob) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID: j.id, Status: j.status, Tenant: j.tenant, Priority: j.priority.String(),
+		Worker: j.worker, Error: j.errMsg, Cached: j.cached,
+		Digest: fmt.Sprintf("%016x", j.digest),
+	}
+}
+
+// CoordinatorOptions configures a Coordinator. Zero values select the
+// documented defaults.
+type CoordinatorOptions struct {
+	TTL          time.Duration // worker heartbeat TTL (default 10s)
+	Replicas     int           // ring virtual nodes per worker (default DefaultRingReplicas)
+	Quota        QuotaConfig   // default per-tenant quota
+	Dispatchers  int           // concurrent dispatch loops (default 4)
+	PollInterval time.Duration // worker run-status poll cadence (default 5ms)
+	RetryDelay   time.Duration // backoff before requeueing a bounced job (default 25ms)
+	Client       *http.Client  // control-plane client (default: 30s timeout)
+	Now          func() time.Time
+}
+
+// Coordinator shards jobs across registered wavepimd workers.
+type Coordinator struct {
+	reg     *Registry
+	adm     *Admission
+	metrics *obs.Registry
+	client  *http.Client
+	poll    time.Duration
+	retry   time.Duration
+
+	mu       sync.Mutex
+	jobs     map[string]*cjob
+	order    []string
+	seq      int
+	byDigest map[uint64]*cjob // digest -> a done job (content-addressed result cache)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewCoordinator builds the coordinator and starts its dispatchers.
+func NewCoordinator(o CoordinatorOptions) *Coordinator {
+	if o.Dispatchers <= 0 {
+		o.Dispatchers = 4
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 5 * time.Millisecond
+	}
+	if o.RetryDelay <= 0 {
+		o.RetryDelay = 25 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		reg:      NewRegistry(o.TTL, o.Replicas, o.Now),
+		adm:      NewAdmission(o.Quota),
+		metrics:  obs.NewRegistry(),
+		client:   o.Client,
+		poll:     o.PollInterval,
+		retry:    o.RetryDelay,
+		jobs:     map[string]*cjob{},
+		byDigest: map[uint64]*cjob{},
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	for _, st := range []string{"done", "failed", "rejected", "cached"} {
+		c.metrics.CounterVec("wavepimctl.jobs", "status").With(st)
+	}
+	c.metrics.Counter("wavepimctl.dispatch_retries")
+	c.metrics.Gauge("wavepimctl.workers")
+	c.metrics.Gauge("wavepimctl.queue_depth")
+	for i := 0; i < o.Dispatchers; i++ {
+		c.wg.Add(1)
+		go c.dispatchLoop()
+	}
+	return c
+}
+
+// Registry exposes cluster membership (the HTTP layer and tests use it).
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// Admission exposes the quota layer for per-tenant overrides.
+func (c *Coordinator) Admission() *Admission { return c.adm }
+
+// Close stops accepting jobs and halts the dispatchers. In-flight
+// dispatches are abandoned (their workers finish the runs; the runs stay
+// queryable on the workers).
+func (c *Coordinator) Close() {
+	c.adm.Close()
+	c.cancel()
+	c.wg.Wait()
+}
+
+// Submit admits a spec. The returned job is terminal immediately when
+// the submission is a duplicate (same id) or content-identical to a
+// completed job (same digest — served from cache without touching a
+// worker). The bool reports whether the job already existed.
+func (c *Coordinator) Submit(spec JobSpec) (*cjob, bool, error) {
+	id := spec.ID
+	if id == "" {
+		c.mu.Lock()
+		c.seq++
+		id = fmt.Sprintf("j%04d", c.seq)
+		c.mu.Unlock()
+	} else {
+		var err error
+		if id, err = NormalizeJobID(id); err != nil {
+			return nil, false, err
+		}
+	}
+	prio, err := ParsePriority(spec.Priority)
+	if err != nil {
+		return nil, false, err
+	}
+	spec.ID = id
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	if existing, ok := c.jobs[id]; ok {
+		c.mu.Unlock()
+		return existing, true, nil
+	}
+	j := &cjob{
+		id: id, tenant: spec.Tenant, priority: prio,
+		digest: spec.Digest(), body: body, status: "queued",
+	}
+	if done, ok := c.byDigest[j.digest]; ok {
+		// Content-identical to a completed job: serve its report without
+		// dispatching. The cached bytes are the equivalent run's report.
+		done.mu.Lock()
+		j.status, j.result, j.worker = done.status, done.result, done.worker
+		j.errMsg = done.errMsg
+		done.mu.Unlock()
+		j.cached = true
+		c.jobs[id] = j
+		c.order = append(c.order, id)
+		c.mu.Unlock()
+		c.metrics.CounterVec("wavepimctl.jobs", "status").With("cached").Inc()
+		return j, false, nil
+	}
+	c.jobs[id] = j
+	c.order = append(c.order, id)
+	c.mu.Unlock()
+
+	if err := c.adm.Submit(&QueuedJob{ID: id, Tenant: spec.Tenant, Priority: prio, Payload: j}); err != nil {
+		c.mu.Lock()
+		delete(c.jobs, id)
+		if n := len(c.order); n > 0 && c.order[n-1] == id {
+			c.order = c.order[:n-1]
+		}
+		c.mu.Unlock()
+		c.metrics.CounterVec("wavepimctl.jobs", "status").With("rejected").Inc()
+		return nil, false, err
+	}
+	return j, false, nil
+}
+
+// Job looks up a tracked job.
+func (c *Coordinator) Job(id string) (*cjob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// Jobs lists tracked jobs in submission order.
+func (c *Coordinator) Jobs() []JobView {
+	c.mu.Lock()
+	ids := append([]string(nil), c.order...)
+	jobs := make([]*cjob, len(ids))
+	for i, id := range ids {
+		jobs[i] = c.jobs[id]
+	}
+	c.mu.Unlock()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view()
+	}
+	return views
+}
+
+func (c *Coordinator) dispatchLoop() {
+	defer c.wg.Done()
+	for {
+		qj, ok := c.adm.Next(c.ctx)
+		if !ok {
+			return
+		}
+		c.dispatch(qj)
+	}
+}
+
+// pause waits out a backoff; returns false when the coordinator closed.
+func (c *Coordinator) pause() bool {
+	select {
+	case <-c.ctx.Done():
+		return false
+	case <-time.After(c.retry):
+		return true
+	}
+}
+
+// dispatch forwards one claimed job to its ring owner and follows it to
+// a terminal state. Any transport failure rebalances and requeues.
+func (c *Coordinator) dispatch(qj *QueuedJob) {
+	j := qj.Payload.(*cjob)
+	owner, ok := c.reg.OwnerOf(j.id)
+	if !ok {
+		// No live workers; hold the job until one registers.
+		if c.pause() {
+			c.adm.Requeue(qj)
+		}
+		return
+	}
+	j.mu.Lock()
+	j.status = "dispatched"
+	j.worker = owner.ID
+	body := j.body
+	j.mu.Unlock()
+
+	code, respBody, err := c.do("POST", owner.URL+"/runs", body)
+	if err != nil {
+		c.reg.MarkDead(owner.ID)
+		c.retryJob(qj, j)
+		return
+	}
+	switch {
+	case code == http.StatusOK || code == http.StatusAccepted:
+		// accepted (or already known from an earlier attempt)
+	case code == http.StatusServiceUnavailable:
+		// Worker queue full or draining: back off and retry; the ring may
+		// route elsewhere by then.
+		if c.pause() {
+			c.retryJob(qj, j)
+		}
+		return
+	default:
+		c.finishJob(qj, j, "failed", fmt.Sprintf("worker %s rejected job: %d %s",
+			owner.ID, code, strings.TrimSpace(string(respBody))), nil)
+		return
+	}
+
+	for {
+		code, respBody, err := c.do("GET", owner.URL+"/runs/"+j.id, nil)
+		if err != nil {
+			c.reg.MarkDead(owner.ID)
+			c.retryJob(qj, j)
+			return
+		}
+		if code != http.StatusOK {
+			c.finishJob(qj, j, "failed", fmt.Sprintf("worker %s lost run: %d", owner.ID, code), nil)
+			return
+		}
+		var v struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(respBody, &v); err != nil {
+			c.finishJob(qj, j, "failed", fmt.Sprintf("worker %s run view: %v", owner.ID, err), nil)
+			return
+		}
+		if v.Status == "done" || v.Status == "failed" {
+			c.finishJob(qj, j, v.Status, v.Error, respBody)
+			return
+		}
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-time.After(c.poll):
+		}
+	}
+}
+
+// retryJob requeues a job whose dispatch bounced.
+func (c *Coordinator) retryJob(qj *QueuedJob, j *cjob) {
+	j.mu.Lock()
+	j.status = "queued"
+	j.mu.Unlock()
+	c.metrics.Counter("wavepimctl.dispatch_retries").Inc()
+	c.adm.Requeue(qj)
+}
+
+// finishJob records a terminal state, feeds the content-addressed result
+// cache, and releases the tenant's active slot.
+func (c *Coordinator) finishJob(qj *QueuedJob, j *cjob, status, errMsg string, result []byte) {
+	j.mu.Lock()
+	j.status = status
+	j.errMsg = errMsg
+	j.result = result
+	j.mu.Unlock()
+	if status == "done" && result != nil {
+		c.mu.Lock()
+		if _, ok := c.byDigest[j.digest]; !ok {
+			c.byDigest[j.digest] = j
+		}
+		c.mu.Unlock()
+	}
+	c.metrics.CounterVec("wavepimctl.jobs", "status").With(status).Inc()
+	c.adm.Done(qj.Tenant)
+}
+
+// do runs one control-plane request and slurps the body.
+func (c *Coordinator) do(method, url string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequestWithContext(c.ctx, method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}

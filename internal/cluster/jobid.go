@@ -1,0 +1,97 @@
+// Package cluster shards wavepimd into a coordinator + worker cluster:
+// a consistent-hash ring assigns idempotent, client-named jobs to
+// registered workers, a registry tracks membership through heartbeats and
+// draining handoffs, per-tenant admission control with priority queues
+// layers on top of the workers' own backpressure, and the coordinator
+// aggregates worker telemetry (Prometheus expositions, SSE event
+// streams) into single deterministic views.
+package cluster
+
+import (
+	"fmt"
+)
+
+// MaxJobIDLen bounds canonical job ids. 128 characters is enough for a
+// UUID plus generous tenant/campaign prefixes while keeping ids cheap to
+// log and hash.
+const MaxJobIDLen = 128
+
+// NormalizeJobID canonicalizes a client-supplied idempotency key:
+// surrounding ASCII whitespace is trimmed and ASCII letters fold to
+// lowercase (ids are case-insensitive). The canonical form must be 1..128
+// characters drawn from [a-z0-9._:-] with at least one alphanumeric.
+// Distinct canonical ids are distinct jobs; equal canonical ids are the
+// same job however many times they are submitted.
+func NormalizeJobID(raw string) (string, error) {
+	start, end := 0, len(raw)
+	for start < end && isSpace(raw[start]) {
+		start++
+	}
+	for end > start && isSpace(raw[end-1]) {
+		end--
+	}
+	if start == end {
+		return "", fmt.Errorf("cluster: empty job id")
+	}
+	if end-start > MaxJobIDLen {
+		return "", fmt.Errorf("cluster: job id longer than %d characters", MaxJobIDLen)
+	}
+	buf := make([]byte, 0, end-start)
+	alnum := false
+	for i := start; i < end; i++ {
+		c := raw[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			c += 'a' - 'A'
+			alnum = true
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			alnum = true
+		case c == '.' || c == '_' || c == ':' || c == '-':
+		default:
+			return "", fmt.Errorf("cluster: job id byte %q not in [a-z0-9._:-]", c)
+		}
+		buf = append(buf, c)
+	}
+	if !alnum {
+		return "", fmt.Errorf("cluster: job id needs at least one alphanumeric")
+	}
+	return string(buf), nil
+}
+
+// isSpace reports ASCII whitespace (the only kind ids may be wrapped in).
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n'
+}
+
+// RingKey maps a canonical job id to its position on the hash ring:
+// FNV-1a over a domain-separated copy of the id, then a splitmix64
+// finalizer so every input bit diffuses into the high bits the ring's
+// binary search discriminates on. Stable across processes and releases —
+// persisted shard assignments depend on it.
+func RingKey(id string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range []byte("job:") {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer (same construction the fault
+// injector uses for schedule-independent decisions).
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

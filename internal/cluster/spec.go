@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+
+	"wavepim/internal/dg/opcount"
+	"wavepim/internal/wavepim"
+)
+
+// JobSpec is the wire shape of one functional simulation job. It is the
+// POST /runs body a worker accepts and the POST /jobs body the
+// coordinator accepts — one type travels the whole cluster (internal/
+// serve aliases it), which is what lets the coordinator forward
+// submissions verbatim and content-address them consistently.
+type JobSpec struct {
+	ID         string  `json:"id,omitempty"`       // idempotency key (optional)
+	Equation   string  `json:"equation"`           // acoustic | elastic-central | elastic-riemann | maxwell
+	Refine     int     `json:"refine"`             // mesh refinement level (default 1)
+	Np         int     `json:"np"`                 // GLL nodes per axis (default 4)
+	Steps      int     `json:"steps"`              // time steps (default 4)
+	CFL        float64 `json:"cfl"`                // CFL number for dt (default 0.3)
+	Workers    int     `json:"workers"`            // engine worker pool (default: per core)
+	Faults     string  `json:"faults"`             // fault.ParseSpec string, e.g. "seed=4,flip=1e-5"
+	Recover    string  `json:"recover"`            // fault.ParseRecoverySpec string
+	DeadlineMS int     `json:"deadline_ms"`        // wall-clock run deadline (0: none)
+	Tenant     string  `json:"tenant,omitempty"`   // admission-control tenant ("" is the anonymous tenant)
+	Priority   string  `json:"priority,omitempty"` // high | normal (default) | low
+}
+
+// EquationOf maps the wire name to the opcount constant.
+func EquationOf(s string) (opcount.Equation, bool) {
+	switch s {
+	case "", "acoustic":
+		return opcount.Acoustic, true
+	case "elastic-central":
+		return opcount.ElasticCentral, true
+	case "elastic-riemann":
+		return opcount.ElasticRiemann, true
+	case "maxwell":
+		return opcount.Maxwell, true
+	}
+	return 0, false
+}
+
+// Digest content-addresses the simulation a spec requests: two specs
+// with equal digests describe the same deterministic run. The static
+// problem geometry reuses the plan cache's PlanKey digest (the same
+// content address the workers' compiled-plan cache keys on), and the
+// dynamic fields — steps, CFL, fault and recovery specs — are folded on
+// top with FNV-1a. Scheduling-only fields (ID, Tenant, Priority,
+// Workers, DeadlineMS) are deliberately excluded: they change who runs
+// the job and when, not what it computes, so the coordinator's result
+// cache can serve a duplicate submission without touching a worker.
+func (s JobSpec) Digest() uint64 {
+	eq, _ := EquationOf(s.Equation)
+	refine, np, steps, cfl := s.Refine, s.Np, s.Steps, s.CFL
+	if refine <= 0 {
+		refine = 1
+	}
+	if np <= 0 {
+		np = 4
+	}
+	if steps <= 0 {
+		steps = 4
+	}
+	if cfl <= 0 {
+		cfl = 0.3
+	}
+	k := wavepim.PlanKey{
+		Eq:       eq,
+		Flux:     wavepim.FluxFor(eq),
+		Np:       np,
+		EPerAxis: 1 << refine,
+		Chip:     "auto",
+	}
+	const prime = 1099511628211
+	h := k.Digest()
+	for _, c := range []byte(fmt.Sprintf("|steps=%d|cfl=%g|faults=%s|recover=%s",
+		steps, cfl, s.Faults, s.Recover)) {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return mix64(h)
+}

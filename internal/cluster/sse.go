@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// Server-sent-events framing for event-log streams. One JSONL event line
+// becomes one SSE frame:
+//
+//	id: <sequence number>
+//	event: <the line's "event" field>
+//	data: <the JSON line, newline stripped>
+//	<blank line>
+//
+// Frames are a pure function of (index, line), so a replayed tap yields
+// byte-identical SSE output — the golden-stream tests depend on it.
+
+// EventNameOf extracts the "event" field of a JSONL event line, or
+// "message" (the SSE default) if the line does not parse.
+func EventNameOf(line []byte) string {
+	var probe struct {
+		Event string `json:"event"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil || probe.Event == "" {
+		return "message"
+	}
+	return probe.Event
+}
+
+// WriteSSEEvent writes one frame. The line's trailing newline (JSONL) is
+// stripped; interior newlines cannot occur (the event log emits one
+// line per event).
+func WriteSSEEvent(w io.Writer, id int, line []byte) error {
+	data := bytes.TrimRight(line, "\n")
+	var buf bytes.Buffer
+	buf.Grow(len(data) + 48)
+	buf.WriteString("id: ")
+	buf.Write(appendInt(nil, id))
+	buf.WriteString("\nevent: ")
+	buf.WriteString(EventNameOf(data))
+	buf.WriteString("\ndata: ")
+	buf.Write(data)
+	buf.WriteString("\n\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// appendInt is strconv.AppendInt for non-negative ints without the
+// import churn.
+func appendInt(b []byte, i int) []byte {
+	if i == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	n := len(tmp)
+	for i > 0 {
+		n--
+		tmp[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return append(b, tmp[n:]...)
+}
+
+// SSEHeaders stamps the response headers every SSE endpoint shares.
+func SSEHeaders(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no")
+}
+
+// ProxySSE streams an upstream SSE body to the client, flushing after
+// every read so frames arrive live rather than buffered. Returns when
+// the upstream closes or errors (client disconnects surface as write
+// errors and end the copy too).
+func ProxySSE(w http.ResponseWriter, upstream io.Reader) error {
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		n, err := upstream.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return werr
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

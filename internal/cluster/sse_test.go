@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWriteSSEEventFraming: one JSONL line becomes one frame with the
+// event name lifted out of the JSON.
+func TestWriteSSEEventFraming(t *testing.T) {
+	var buf bytes.Buffer
+	line := []byte(`{"ts":"t0","level":"info","event":"run.progress","step":2}` + "\n")
+	if err := WriteSSEEvent(&buf, 7, line); err != nil {
+		t.Fatal(err)
+	}
+	want := "id: 7\nevent: run.progress\ndata: " +
+		`{"ts":"t0","level":"info","event":"run.progress","step":2}` + "\n\n"
+	if buf.String() != want {
+		t.Fatalf("frame:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+// TestWriteSSEEventFallbacks: unparseable or event-less lines frame as
+// the SSE default event type.
+func TestWriteSSEEventFallbacks(t *testing.T) {
+	for _, line := range []string{`not json`, `{"level":"info"}`} {
+		var buf bytes.Buffer
+		if err := WriteSSEEvent(&buf, 0, []byte(line)); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "event: message\n") {
+			t.Fatalf("frame for %q: %q", line, buf.String())
+		}
+	}
+}
+
+// TestWriteSSEEventDeterministic: identical (id, line) pairs frame to
+// identical bytes — replays of a tap are byte-stable.
+func TestWriteSSEEventDeterministic(t *testing.T) {
+	line := []byte(`{"event":"run.start"}` + "\n")
+	var a, b bytes.Buffer
+	WriteSSEEvent(&a, 3, line)
+	WriteSSEEvent(&b, 3, line)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("non-deterministic framing")
+	}
+}
+
+// TestProxySSE: upstream bytes pass through unmodified.
+func TestProxySSE(t *testing.T) {
+	upstream := "id: 0\nevent: run.start\ndata: {}\n\nid: 1\nevent: run.end\ndata: {}\n\n"
+	rec := httptest.NewRecorder()
+	SSEHeaders(rec)
+	if err := ProxySSE(rec, strings.NewReader(upstream)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Body.String() != upstream {
+		t.Fatalf("proxied stream diverges:\n%q\nwant\n%q", rec.Body.String(), upstream)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+}

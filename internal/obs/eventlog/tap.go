@@ -1,0 +1,95 @@
+package eventlog
+
+import "sync"
+
+// Tap is an io.Writer that retains every line written through it and lets
+// any number of readers replay the stream from the beginning and then
+// follow it live. It is the bridge between a run's event log and the
+// serving layer's SSE endpoints: the worker wires a Tap into the run's
+// logger (via io.MultiWriter next to the process-wide writer), and each
+// GET /runs/{id}/events subscriber drains Since in a loop.
+//
+// The Logger writes exactly one complete JSONL line per Write call, so a
+// Tap line is always one complete event. Lines are copied on write and
+// never mutated afterwards, which makes the slices returned by Since safe
+// to read without holding any lock.
+type Tap struct {
+	mu     sync.Mutex
+	lines  [][]byte
+	done   bool
+	notify chan struct{} // closed and replaced on every append; closed for good on Close
+}
+
+// NewTap creates an empty, open tap.
+func NewTap() *Tap {
+	return &Tap{notify: make(chan struct{})}
+}
+
+// Write retains a copy of one event line. Writes after Close are
+// discarded (the stream has been declared complete). Always returns
+// len(p), nil so an io.MultiWriter never aborts the real writer.
+func (t *Tap) Write(p []byte) (int, error) {
+	if t == nil {
+		return len(p), nil
+	}
+	cp := append([]byte(nil), p...)
+	t.mu.Lock()
+	if !t.done {
+		t.lines = append(t.lines, cp)
+		close(t.notify)
+		t.notify = make(chan struct{})
+	}
+	t.mu.Unlock()
+	return len(p), nil
+}
+
+// Close marks the stream complete and wakes every follower. Idempotent.
+func (t *Tap) Close() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		close(t.notify)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained lines.
+func (t *Tap) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.lines)
+}
+
+// Since returns the lines appended at or after index i (clamped), whether
+// the stream is complete, and a channel that is closed on the next append
+// or on Close. The follower loop is:
+//
+//	i := 0
+//	for {
+//		lines, closed, wait := tap.Since(i)
+//		for _, ln := range lines { emit(ln); i++ }
+//		if closed { return }
+//		select { case <-wait: case <-ctx.Done(): return }
+//	}
+func (t *Tap) Since(i int) (lines [][]byte, closed bool, wait <-chan struct{}) {
+	if t == nil {
+		ch := make(chan struct{})
+		close(ch)
+		return nil, true, ch
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 {
+		i = 0
+	}
+	if i > len(t.lines) {
+		i = len(t.lines)
+	}
+	return t.lines[i:], t.done, t.notify
+}

@@ -1,0 +1,197 @@
+package eventlog
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTapReplayAndFollow: a follower that starts late replays the full
+// prefix, then sees live appends, then observes Close.
+func TestTapReplayAndFollow(t *testing.T) {
+	tap := NewTap()
+	tap.Write([]byte("a\n"))
+	tap.Write([]byte("b\n"))
+
+	var got [][]byte
+	i := 0
+	lines, closed, _ := tap.Since(i)
+	if closed {
+		t.Fatal("tap closed early")
+	}
+	got = append(got, lines...)
+	i += len(lines)
+	if len(got) != 2 {
+		t.Fatalf("replay got %d lines", len(got))
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			lines, closed, wait := tap.Since(i)
+			got = append(got, lines...)
+			i += len(lines)
+			if closed {
+				return
+			}
+			<-wait
+		}
+	}()
+	tap.Write([]byte("c\n"))
+	tap.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never saw Close")
+	}
+	want := [][]byte{[]byte("a\n"), []byte("b\n"), []byte("c\n")}
+	if len(got) != len(want) {
+		t.Fatalf("got %d lines, want %d", len(got), len(want))
+	}
+	for j := range want {
+		if !bytes.Equal(got[j], want[j]) {
+			t.Fatalf("line %d = %q, want %q", j, got[j], want[j])
+		}
+	}
+}
+
+// TestTapWriteAfterCloseDiscarded: the stream is immutable once complete.
+func TestTapWriteAfterCloseDiscarded(t *testing.T) {
+	tap := NewTap()
+	tap.Write([]byte("a\n"))
+	tap.Close()
+	tap.Close() // idempotent
+	if n, err := tap.Write([]byte("late\n")); n != 5 || err != nil {
+		t.Fatalf("Write after close: %d %v", n, err)
+	}
+	if tap.Len() != 1 {
+		t.Fatalf("late write retained: %d lines", tap.Len())
+	}
+	lines, closed, _ := tap.Since(0)
+	if !closed || len(lines) != 1 {
+		t.Fatalf("closed=%v lines=%d", closed, len(lines))
+	}
+}
+
+// TestTapCopiesLines: the tap must not alias the caller's buffer (the
+// Logger reuses its line buffer between events).
+func TestTapCopiesLines(t *testing.T) {
+	tap := NewTap()
+	buf := []byte("first\n")
+	tap.Write(buf)
+	copy(buf, "XXXXX")
+	lines, _, _ := tap.Since(0)
+	if string(lines[0]) != "first\n" {
+		t.Fatalf("tap aliased caller buffer: %q", lines[0])
+	}
+}
+
+// TestTapSinceClamps: out-of-range indices are clamped, not panics.
+func TestTapSinceClamps(t *testing.T) {
+	tap := NewTap()
+	tap.Write([]byte("a\n"))
+	if lines, _, _ := tap.Since(-3); len(lines) != 1 {
+		t.Fatalf("negative index: %d lines", len(lines))
+	}
+	if lines, _, _ := tap.Since(99); len(lines) != 0 {
+		t.Fatalf("past-end index: %d lines", len(lines))
+	}
+}
+
+// TestTapNil: a nil tap is inert for writers and reports closed to readers.
+func TestTapNil(t *testing.T) {
+	var tap *Tap
+	if n, err := tap.Write([]byte("x")); n != 1 || err != nil {
+		t.Fatalf("nil write: %d %v", n, err)
+	}
+	tap.Close()
+	lines, closed, wait := tap.Since(0)
+	if len(lines) != 0 || !closed {
+		t.Fatalf("nil Since: %d lines closed=%v", len(lines), closed)
+	}
+	select {
+	case <-wait:
+	default:
+		t.Fatal("nil wait channel not closed")
+	}
+	if tap.Len() != 0 {
+		t.Fatal("nil Len")
+	}
+}
+
+// TestTapThroughLogger: a Logger whose writer multiplexes into a Tap
+// yields one tap line per event, byte-identical to the writer's output.
+func TestTapThroughLogger(t *testing.T) {
+	tap := NewTap()
+	var sink bytes.Buffer
+	log := New(io.MultiWriter(&sink, tap), Info)
+	log.SetClock(func() time.Time { return time.Unix(0, 42).UTC() })
+	log.Info("run.start", Int("steps", 3))
+	log.Info("run.progress", Int("step", 1))
+	log.Info("run.end")
+	tap.Close()
+
+	lines, closed, _ := tap.Since(0)
+	if !closed || len(lines) != 3 {
+		t.Fatalf("closed=%v lines=%d", closed, len(lines))
+	}
+	if got := bytes.Join(lines, nil); !bytes.Equal(got, sink.Bytes()) {
+		t.Fatalf("tap diverges from writer:\n%s\nvs\n%s", got, sink.Bytes())
+	}
+}
+
+// TestTapConcurrent: racing writers and followers agree on a single
+// totally-ordered stream (run with -race).
+func TestTapConcurrent(t *testing.T) {
+	tap := NewTap()
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWriter; k++ {
+				tap.Write([]byte(fmt.Sprintf("w%d-%d\n", w, k)))
+			}
+		}(w)
+	}
+	results := make([][][]byte, 3)
+	var rg sync.WaitGroup
+	for r := range results {
+		rg.Add(1)
+		go func(r int) {
+			defer rg.Done()
+			i := 0
+			for {
+				lines, closed, wait := tap.Since(i)
+				results[r] = append(results[r], lines...)
+				i += len(lines)
+				if closed {
+					return
+				}
+				<-wait
+			}
+		}(r)
+	}
+	wg.Wait()
+	tap.Close()
+	rg.Wait()
+	if tap.Len() != writers*perWriter {
+		t.Fatalf("retained %d lines, want %d", tap.Len(), writers*perWriter)
+	}
+	for r := 1; r < len(results); r++ {
+		if len(results[r]) != len(results[0]) {
+			t.Fatalf("follower %d saw %d lines, follower 0 saw %d",
+				r, len(results[r]), len(results[0]))
+		}
+		for j := range results[0] {
+			if !bytes.Equal(results[r][j], results[0][j]) {
+				t.Fatalf("followers diverge at line %d", j)
+			}
+		}
+	}
+}

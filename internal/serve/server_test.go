@@ -1,11 +1,13 @@
-package main
+package serve
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -14,12 +16,12 @@ import (
 
 // testServer spins up a one-worker daemon with a tiny queue behind an
 // httptest listener.
-func testServer(t *testing.T, workers, queue int) (*server, *httptest.Server) {
+func testServer(t *testing.T, workers, queue int) (*Server, *httptest.Server) {
 	t.Helper()
-	s := newServer(workers, queue, 128, io.Discard, eventlog.Debug)
-	ts := httptest.NewServer(s.handler())
+	s := NewServer(Options{Workers: workers, QueueCap: queue, TraceCap: 128, Level: eventlog.Debug})
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
-	t.Cleanup(s.drain)
+	t.Cleanup(s.Drain)
 	return s, ts
 }
 
@@ -52,7 +54,7 @@ func getBody(t *testing.T, url string) (int, string) {
 }
 
 // waitRun polls until the run reaches a terminal state.
-func waitRun(t *testing.T, base, id string) runView {
+func waitRun(t *testing.T, base, id string) RunView {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
@@ -60,7 +62,7 @@ func waitRun(t *testing.T, base, id string) runView {
 		if code != http.StatusOK {
 			t.Fatalf("GET /runs/%s: %d %s", id, code, body)
 		}
-		var v runView
+		var v RunView
 		if err := json.Unmarshal([]byte(body), &v); err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +72,7 @@ func waitRun(t *testing.T, base, id string) runView {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("run %s never finished", id)
-	return runView{}
+	return RunView{}
 }
 
 // TestDaemonEndToEnd is the acceptance path: submit the canonical healing
@@ -201,6 +203,9 @@ func TestDaemonValidationAndBackpressure(t *testing.T) {
 	if code, _ := postJSON(t, ts.URL+"/runs", `not json`); code != http.StatusBadRequest {
 		t.Fatalf("bad body: %d", code)
 	}
+	if code, _ := postJSON(t, ts.URL+"/runs", `{"equation":"acoustic","id":"!!!"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad client id: %d", code)
+	}
 	if code, _ := postJSON(t, ts.URL+"/runs", `{"faults":"seed=banana"}`); code != http.StatusAccepted {
 		// Spec-string errors surface when the job executes, not at submit.
 		t.Fatalf("submit: %d", code)
@@ -258,7 +263,7 @@ func TestDaemonHealthAndDrain(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: %d", code)
 	}
-	s.drain()
+	s.Drain()
 	if code, _ := getBody(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
 		t.Fatalf("readyz while drained: %d", code)
 	}
@@ -270,7 +275,7 @@ func TestDaemonHealthAndDrain(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("run after drain: %d", code)
 	}
-	var v runView
+	var v RunView
 	json.Unmarshal([]byte(body), &v)
 	if v.Status != "done" || v.Equation != "Maxwell" {
 		t.Fatalf("drained run: %+v", v)
@@ -302,7 +307,7 @@ func TestDaemonConcurrentRuns(t *testing.T) {
 		}
 	}
 	_, body := getBody(t, ts.URL+"/runs")
-	var list []runView
+	var list []RunView
 	if err := json.Unmarshal([]byte(body), &list); err != nil {
 		t.Fatal(err)
 	}
@@ -336,5 +341,138 @@ func TestDaemonPprof(t *testing.T) {
 	code, body := getBody(t, ts.URL+"/debug/pprof/cmdline")
 	if code != http.StatusOK || body == "" {
 		t.Fatalf("pprof cmdline: %d %q", code, body)
+	}
+}
+
+// TestDaemonIdempotentSubmit: resubmitting a client id returns the
+// existing run — same id in the response, no second run in the table,
+// and the run view is stable across resubmits. Client ids are
+// canonicalized, so a sloppy retry ("  Job-A \n") still hits the same
+// run as the original ("job-a").
+func TestDaemonIdempotentSubmit(t *testing.T) {
+	_, ts := testServer(t, 1, 8)
+
+	code, out := postJSON(t, ts.URL+"/runs", `{"equation":"acoustic","steps":2,"id":"job-a"}`)
+	if code != http.StatusAccepted || out["id"] != "job-a" {
+		t.Fatalf("first submit: %d %v", code, out)
+	}
+	v := waitRun(t, ts.URL, "job-a")
+	if v.Status != "done" {
+		t.Fatalf("run: %+v", v)
+	}
+	_, body1 := getBody(t, ts.URL+"/runs/job-a")
+
+	// Exact resubmit and a sloppy-whitespace/case retry both dedupe.
+	for _, payload := range []string{
+		`{"equation":"acoustic","steps":2,"id":"job-a"}`,
+		`{"equation":"acoustic","steps":2,"id":"  Job-A \n"}`,
+	} {
+		code, out = postJSON(t, ts.URL+"/runs", payload)
+		if code != http.StatusOK || out["id"] != "job-a" {
+			t.Fatalf("resubmit %q: %d %v", payload, code, out)
+		}
+	}
+	_, body2 := getBody(t, ts.URL+"/runs/job-a")
+	if body1 != body2 {
+		t.Fatalf("run view changed across resubmits:\n%s\nvs\n%s", body1, body2)
+	}
+
+	_, body := getBody(t, ts.URL+"/runs")
+	var list []RunView
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Fatalf("resubmits created extra runs: %v", list)
+	}
+}
+
+// TestDaemonEventsSSE: the per-run SSE stream replays the run's full
+// event log — run.start through run.end with run.progress frames in
+// between — and a finished run's stream is byte-identical across two
+// subscriptions.
+func TestDaemonEventsSSE(t *testing.T) {
+	_, ts := testServer(t, 1, 8)
+	code, out := postJSON(t, ts.URL+"/runs", `{"equation":"acoustic","steps":3,"id":"sse-1"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitRun(t, ts.URL, out["id"])
+
+	stream := func() string {
+		resp, err := http.Get(ts.URL + "/runs/sse-1/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+			t.Fatalf("content type %q", ct)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a := stream()
+	b := stream()
+	if a != b {
+		t.Fatalf("finished-run SSE stream not byte-stable:\n%q\nvs\n%q", a, b)
+	}
+	for _, want := range []string{
+		"event: run.start\n",
+		"event: run.progress\n",
+		"event: run.end\n",
+		"id: 0\n",
+	} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("stream missing %q:\n%s", want, a)
+		}
+	}
+
+	// Frames are well-formed: every data: line is valid JSON.
+	sc := bufio.NewScanner(strings.NewReader(a))
+	frames := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			frames++
+			var ev map[string]any
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("data line not JSON: %q", data)
+			}
+		}
+	}
+	if frames < 5 { // start + 3 progress + end
+		t.Fatalf("only %d frames", frames)
+	}
+}
+
+// TestDaemonEventsSSELive: a subscriber attached before the run starts
+// receives frames and sees the stream terminate when the run finishes.
+func TestDaemonEventsSSELive(t *testing.T) {
+	_, ts := testServer(t, 1, 8)
+	code, _ := postJSON(t, ts.URL+"/runs", `{"equation":"acoustic","steps":2,"id":"live-1"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+
+	var wg sync.WaitGroup
+	var live string
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/runs/live-1/events")
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body) // blocks until the run's tap closes
+		live = string(b)
+	}()
+	waitRun(t, ts.URL, "live-1")
+	wg.Wait()
+	if !strings.Contains(live, "event: run.end\n") {
+		t.Fatalf("live stream missed run.end:\n%s", live)
 	}
 }

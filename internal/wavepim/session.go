@@ -64,10 +64,11 @@ type sessionConfig struct {
 	faults   *fault.Config
 	recovery *fault.Recovery
 
-	runID    string
-	log      *eventlog.Logger
-	flight   *eventlog.FlightRecorder
-	flightTo io.Writer
+	runID         string
+	log           *eventlog.Logger
+	flight        *eventlog.FlightRecorder
+	flightTo      io.Writer
+	progressEvery int
 }
 
 // Option configures a Session (functional-options style).
@@ -167,6 +168,16 @@ func WithRecovery(rec fault.Recovery) Option {
 // (wavepimd uses its run ids; CLI runs may leave it empty).
 func WithRunID(id string) Option {
 	return func(c *sessionConfig) { c.runID = id }
+}
+
+// WithProgressEvery makes Run emit a run.progress event (step index plus
+// simulated time) to the attached event log after every k completed
+// steps. Progress events are deterministic for a fixed spec — the step
+// sequence and simulated clock do not depend on wall time — so a tap of
+// the event log replays byte-identically under an injected clock. k <= 0
+// (the default) disables progress events.
+func WithProgressEvery(k int) Option {
+	return func(c *sessionConfig) { c.progressEvery = k }
 }
 
 // WithEventLog attaches a structured event logger: the session emits
@@ -507,6 +518,12 @@ func (s *Session) runSteps(ctx context.Context, n int) error {
 			return s.runErr(err, i)
 		}
 		i++
+		if k := s.cfg.progressEvery; k > 0 && s.cfg.log != nil && i%k == 0 {
+			s.cfg.log.Info("run.progress",
+				eventlog.Int("step", i),
+				eventlog.Int("of", n),
+				eventlog.F64("sim_seconds", s.eng.TotalTime()))
+		}
 		if !guarded || (i%rec.CheckpointEvery != 0 && i != n) {
 			continue
 		}

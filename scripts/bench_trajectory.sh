@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench_trajectory.sh — record the performance trajectory of the hot-path
-# work into a committed JSON artifact (BENCH_pr6.json):
+# work into a committed JSON artifact (BENCH_pr7.json):
 #
 #   * nil-sink instrumentation overhead (BenchmarkNilSinkOverhead pair)
 #   * scalar vs bit-sliced vs multi-slab NOR fp32 arithmetic (Mul and Add)
@@ -12,13 +12,13 @@
 # fixed (schema first, then benchmarks sorted as listed below, then derived
 # ratios) so diffs between regenerations stay readable.
 #
-# Usage: scripts/bench_trajectory.sh [count]   (writes $OUT, default BENCH_pr6.json)
+# Usage: scripts/bench_trajectory.sh [count]   (writes $OUT, default BENCH_pr7.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
-OUT="${OUT:-BENCH_pr6.json}"
+OUT="${OUT:-BENCH_pr7.json}"
 
 NIL=$(go test -run '^$' -bench '^BenchmarkNilSinkOverhead$' -count "$COUNT" \
 	-benchtime 1000000x ./internal/obs/)

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# cluster_load_guard.sh — push JOBS (default 200) concurrent jobs through
+# a 3-worker coordinator + wavepimd cluster under the race detector and
+# demand zero errors. The measured throughput and latency percentiles
+# come out of TestClusterLoadGuard (internal/cluster/load_test.go) as a
+# fixed-field-order JSON document.
+#
+# Modes:
+#   scripts/cluster_load_guard.sh            run the guard (CI: -race, 0 errors)
+#   RECORD=1 scripts/cluster_load_guard.sh   also fold the result into the
+#                                            newest BENCH_pr*.json as its
+#                                            "cluster" section
+#
+# Env: JOBS (default 200) — must stay >= 200 for the committed guarantee.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-200}"
+RESULT=$(mktemp)
+LOG=$(mktemp)
+trap 'rm -f "$RESULT" "$LOG"' EXIT
+
+echo "cluster load guard: $JOBS concurrent jobs, 3 workers, -race"
+if ! CLUSTER_LOAD=1 CLUSTER_LOAD_JOBS="$JOBS" CLUSTER_LOAD_OUT="$RESULT" \
+	go test -race -run '^TestClusterLoadGuard$' -count 1 -v ./internal/cluster/ >"$LOG" 2>&1; then
+	cat "$LOG"
+	echo "cluster load guard: FAILED"
+	exit 1
+fi
+grep -E 'cluster load:' "$LOG" || true
+
+RESULT="$RESULT" JOBS="$JOBS" RECORD="${RECORD:-}" python3 - <<'EOF'
+import glob
+import json
+import os
+import re
+import sys
+
+res = json.load(open(os.environ["RESULT"]))
+jobs = int(os.environ["JOBS"])
+
+if res["errors"] != 0:
+    sys.exit(f"cluster load guard: {res['errors']} errors")
+if res["jobs"] < jobs:
+    sys.exit(f"cluster load guard: only {res['jobs']} of {jobs} jobs completed")
+if res["jobs"] < 200:
+    sys.exit(f"cluster load guard: {res['jobs']} jobs is below the 200-job guarantee")
+print(f"cluster load guard: {res['jobs']} jobs, 0 errors, "
+      f"{res['throughput_jobs_per_sec']:.1f} jobs/s, p99 {res['p99_ms']:.1f}ms")
+
+if os.environ["RECORD"]:
+    files = sorted(glob.glob("BENCH_pr*.json"),
+                   key=lambda f: int(re.search(r"pr(\d+)", f).group(1)))
+    if not files:
+        sys.exit("cluster load guard: RECORD=1 but no BENCH_pr*.json exists "
+                 "(run scripts/bench_trajectory.sh first)")
+    target = files[-1]
+    doc = json.load(open(target))
+    doc["cluster"] = res  # loadResult's fixed field order carries through
+    with open(target, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"cluster load guard: recorded into {target}")
+EOF
