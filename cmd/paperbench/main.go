@@ -11,6 +11,14 @@
 // (selected by -eq, -refine, -chip) and exports its observability output:
 // a Chrome trace_event JSON of the Figure 13 stage pipeline, and the full
 // metrics-registry snapshot.
+//
+// With -topologysweep it runs every benchmark on every constructible tile
+// interconnect (htree, bus, mesh, torus, flatfly, dragonfly) for the -chip
+// configuration and writes the byte-deterministic JSON comparison report
+// (per-topology run time, energy, backpressure, switch-occupancy
+// histograms, stage timelines) to the given file ('-' for stdout):
+//
+//	paperbench -chip PIM-2GB -steps 8 -topologysweep report.json
 package main
 
 import (
@@ -35,7 +43,17 @@ func main() {
 	refine := flag.Int("refine", 4, "instrumented run refinement level")
 	chipName := flag.String("chip", "PIM-16GB", "instrumented run chip configuration (PIM-512MB, PIM-2GB, PIM-8GB, PIM-16GB)")
 	eventLogPath := flag.String("eventlog", "", "instrumented run: write structured JSONL events to this file ('-' for stderr)")
+	sweepPath := flag.String("topologysweep", "", "run the interconnect topology sweep and write its JSON report to this file ('-' for stdout)")
+	sweepSteps := flag.Int("steps", 0, "topology sweep: time steps (0 = the paper's 1024)")
 	flag.Parse()
+
+	if *sweepPath != "" {
+		if err := topologySweep(*chipName, *sweepSteps, *sweepPath); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *tracePath != "" || *metricsPath != "" || *eventLogPath != "" {
 		if err := instrumentedRun(*eqName, *refine, *chipName, *tracePath, *metricsPath, *eventLogPath); err != nil {
@@ -120,6 +138,46 @@ func main() {
 	}
 }
 
+// chipByName resolves one of the four evaluation chip configurations.
+func chipByName(name string) (chip.Config, error) {
+	for _, c := range chip.AllConfigs() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return chip.Config{}, fmt.Errorf("unknown chip configuration %q", name)
+}
+
+// topologySweep runs the full interconnect comparison and writes the
+// byte-deterministic JSON report; the human-readable summary table goes
+// to stdout unless the report itself does.
+func topologySweep(chipName string, steps int, path string) error {
+	cfg, err := chipByName(chipName)
+	if err != nil {
+		return err
+	}
+	rep, err := experiments.TopologySweep(cfg, steps)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println(experiments.TopologySweepTable(rep))
+	return nil
+}
+
 // instrumentedRun times one benchmark with an observability sink attached
 // and exports the requested artifacts.
 func instrumentedRun(eqName string, refine int, chipName, tracePath, metricsPath, eventLogPath string) error {
@@ -136,15 +194,9 @@ func instrumentedRun(eqName string, refine int, chipName, tracePath, metricsPath
 	default:
 		return fmt.Errorf("unknown equation %q", eqName)
 	}
-	var cfg *chip.Config
-	for _, c := range chip.AllConfigs() {
-		if c.Name == chipName {
-			cc := c
-			cfg = &cc
-		}
-	}
-	if cfg == nil {
-		return fmt.Errorf("unknown chip configuration %q", chipName)
+	cfg, err := chipByName(chipName)
+	if err != nil {
+		return err
 	}
 	var log *eventlog.Logger
 	switch eventLogPath {
@@ -164,7 +216,7 @@ func instrumentedRun(eqName string, refine int, chipName, tracePath, metricsPath
 	opt.Obs = sink
 	b := opcount.Benchmark{Eq: eq, Refinement: refine}
 	log.Info("bench.start", eventlog.Str("bench", b.Name()), eventlog.Str("chip", cfg.Name))
-	res, err := wavepim.Run(b, *cfg, opt)
+	res, err := wavepim.Run(b, cfg, opt)
 	if err != nil {
 		log.Error("bench.error", eventlog.Str("error", err.Error()))
 		return err

@@ -50,7 +50,7 @@ import (
 func main() {
 	benchName := flag.String("bench", "acoustic_4", "benchmark: acoustic_{4,5}, elastic-central_{4,5}, elastic-riemann_{4,5}")
 	chipName := flag.String("chip", "2GB", "chip capacity: 512MB, 2GB, 8GB, 16GB")
-	interconnect := flag.String("interconnect", "htree", "tile interconnect: htree or bus")
+	interconnect := flag.String("interconnect", "htree", "tile interconnect: htree, bus, mesh, torus, flatfly, dragonfly")
 	pipelined := flag.Bool("pipelined", true, "apply the Section 6.3 pipeline")
 	steps := flag.Int("steps", 1024, "time steps")
 	functional := flag.Bool("functional", false, "run a functional simulation in simulated crossbar cells")
@@ -70,7 +70,7 @@ func main() {
 		return
 	}
 	if *functional {
-		runFunctional(*refine, *np, *fnSteps, *faultSpec, *recoverSpec, *faultReport, *eventLog, *flight)
+		runFunctional(*refine, *np, *fnSteps, *interconnect, *faultSpec, *recoverSpec, *faultReport, *eventLog, *flight)
 		return
 	}
 
@@ -93,9 +93,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown chip %q\n", *chipName)
 		os.Exit(2)
 	}
-	if *interconnect == "bus" {
-		cfg.Interconnect = chip.Bus
+	kind, err := chip.ParseInterconnect(*interconnect)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-interconnect: %v\n", err)
+		os.Exit(2)
 	}
+	cfg.Interconnect = kind
 
 	opt := wavepim.DefaultOptions()
 	opt.TimeSteps = *steps
@@ -166,11 +169,11 @@ func parseBench(s string) (opcount.Benchmark, bool) {
 	return opcount.Benchmark{}, false
 }
 
-func runFunctional(refine, np, steps int, faultSpec, recoverSpec, reportPath, eventLogPath, flightPath string) {
+func runFunctional(refine, np, steps int, topology, faultSpec, recoverSpec, reportPath, eventLogPath, flightPath string) {
 	m := mesh.New(refine, np, true)
 	mat := material.Acoustic{Kappa: 2.25, Rho: 1.0}
-	fmt.Printf("functional PIM run: %d elements x %d nodes, %d steps, Riemann flux\n",
-		m.NumElem, m.NodesPerEl, steps)
+	fmt.Printf("functional PIM run: %d elements x %d nodes, %d steps, Riemann flux, %s interconnect\n",
+		m.NumElem, m.NodesPerEl, steps, topology)
 
 	ref := dg.NewAcousticSolver(m, material.UniformAcoustic(m.NumElem, mat), dg.RiemannFlux)
 	it := dg.NewAcousticIntegrator(ref)
@@ -183,6 +186,7 @@ func runFunctional(refine, np, steps int, faultSpec, recoverSpec, reportPath, ev
 		wavepim.WithMesh(m),
 		wavepim.WithAcousticMaterial(mat),
 		wavepim.WithDt(dt),
+		wavepim.WithTopology(topology),
 	}
 	// Telemetry wiring (the single-process analogue of wavepimd): an
 	// event logger, and for -flight a sink-backed recorder teed into it.

@@ -7,23 +7,29 @@
 //	wavepimctl -addr :9090 &
 //	wavepimd -addr :8081 -coordinator http://127.0.0.1:9090 -name w1 &
 //	wavepimd -addr :8082 -coordinator http://127.0.0.1:9090 -name w2 &
-//	curl -s -X POST localhost:9090/jobs -d '{"equation":"acoustic","steps":4,"id":"demo-1"}'
-//	curl -s localhost:9090/jobs/demo-1
-//	curl -s localhost:9090/metrics | grep 'worker="w1"'
+//	curl -s -X POST localhost:9090/v1/jobs -d '{"equation":"acoustic","steps":4,"id":"demo-1"}'
+//	curl -s localhost:9090/v1/jobs/demo-1
+//	curl -s localhost:9090/v1/metrics | grep 'worker="w1"'
 //
-// Endpoints:
+// Endpoints (versioned under /v1; the legacy unversioned paths answer
+// 308 permanent redirects):
 //
-//	POST /jobs             submit a job; 202 + {"id": ...}. Resubmitting a
-//	                       finished job's id (or a content-identical spec)
-//	                       returns the cached report, byte-for-byte.
-//	GET  /jobs             list jobs in submission order
-//	GET  /jobs/{id}        one job (finished: the worker's report, verbatim)
-//	GET  /jobs/{id}/events the job's event stream, proxied from its worker
-//	POST /register         worker heartbeat
-//	POST /deregister       worker draining handoff
-//	GET  /workers          live membership
-//	GET  /metrics          aggregated Prometheus exposition (worker="..." labels)
-//	GET  /healthz, /readyz liveness and readiness
+//	POST /v1/jobs             submit a job; 202 + {"id": ...}. Resubmitting a
+//	                          finished job's id (or a content-identical spec)
+//	                          returns the cached report, byte-for-byte.
+//	GET  /v1/jobs             list jobs in submission order
+//	GET  /v1/jobs/{id}        one job (finished: the worker's report, verbatim)
+//	GET  /v1/jobs/{id}/events the job's event stream, proxied from its worker
+//	POST /v1/register         worker heartbeat
+//	POST /v1/deregister       worker draining handoff
+//	GET  /v1/workers          live membership
+//	GET  /v1/metrics          aggregated Prometheus exposition (worker="..." labels)
+//	GET  /v1/healthz, readyz  liveness and readiness
+//
+// A JobSpec may carry "topology" (htree | bus | mesh | torus | flatfly |
+// dragonfly); it participates in the content digest, so the same spec on
+// two topologies is two distinct cached results. Every error response is
+// the typed JSON envelope {code, message, retryable}.
 package main
 
 import (

@@ -8,22 +8,28 @@
 // coordinator.
 //
 //	wavepimd -addr :8080 &
-//	curl -s -X POST localhost:8080/runs -d '{"equation":"acoustic","steps":4,"faults":"seed=4,flip=1e-5,stuck=1e-6"}'
-//	curl -s localhost:8080/metrics | grep sim_fault_rung_events
+//	curl -s -X POST localhost:8080/v1/runs -d '{"equation":"acoustic","steps":4,"faults":"seed=4,flip=1e-5,stuck=1e-6"}'
+//	curl -s localhost:8080/v1/metrics | grep sim_fault_rung_events
 //
-// Endpoints:
+// Endpoints (versioned under /v1; the legacy unversioned paths answer
+// 308 permanent redirects, so curl -L and Go's default client keep
+// working):
 //
-//	POST /runs              submit a job (JobSpec JSON); 202 + {"id": ...}
-//	                        (resubmitting a client-supplied id: 200 + same id)
-//	GET  /runs              list runs with status and fault report
-//	GET  /runs/{id}         one run's status
-//	GET  /runs/{id}/events  the run's event log as SSE (replay + live follow)
-//	GET  /runs/{id}/trace   the run's Chrome trace (chrome://tracing)
-//	GET  /runs/{id}/flight  the run's flight-recorder dump (404 if none)
-//	GET  /metrics           Prometheus text exposition (shared registry)
-//	GET  /healthz           liveness
-//	GET  /readyz            readiness (503 while draining)
-//	     /debug/pprof/*     Go runtime profiles
+//	POST /v1/runs              submit a job (JobSpec JSON); 202 + {"id": ...}
+//	                           (resubmitting a client-supplied id: 200 + same id)
+//	GET  /v1/runs              list runs with status and fault report
+//	GET  /v1/runs/{id}         one run's status
+//	GET  /v1/runs/{id}/events  the run's event log as SSE (replay + live follow)
+//	GET  /v1/runs/{id}/trace   the run's Chrome trace (chrome://tracing)
+//	GET  /v1/runs/{id}/flight  the run's flight-recorder dump (404 if none)
+//	GET  /v1/metrics           Prometheus text exposition (shared registry)
+//	GET  /v1/healthz           liveness
+//	GET  /v1/readyz            readiness (503 while draining)
+//	     /debug/pprof/*        Go runtime profiles (also under /v1)
+//
+// A JobSpec may carry "topology" (htree | bus | mesh | torus | flatfly |
+// dragonfly) to pick the tile interconnect; omitted means htree. Every
+// error response is the typed JSON envelope {code, message, retryable}.
 //
 // Shutdown (SIGINT/SIGTERM) is graceful: the worker deregisters from its
 // coordinator (if any), readiness flips to 503, queued and in-flight

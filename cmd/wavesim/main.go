@@ -42,7 +42,14 @@ func main() {
 	guard := flag.Int("guard", 0, "check solver health (finiteness, norm blow-up) every N steps; 0 disables (acoustic/elastic)")
 	blowup := flag.Float64("blowup", 1e3, "health guard: allowed squared-norm growth factor over the initial state")
 	eventLogPath := flag.String("eventlog", "", "write structured JSONL run events to this file ('-' for stderr)")
+	topology := flag.String("topology", "htree", "traced PIM run's tile interconnect: htree, bus, mesh, torus, flatfly, dragonfly")
 	flag.Parse()
+
+	topoKind, err := chip.ParseInterconnect(*topology)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-topology: %v\n", err)
+		os.Exit(2)
+	}
 
 	var sink *obs.Sink
 	if *tracePath != "" || *metricsPath != "" {
@@ -199,13 +206,15 @@ func main() {
 	opt.TimeSteps = *steps
 	opt.Obs = sink
 	b := opcount.Benchmark{Eq: pimEq, Refinement: *refine}
-	res, err := wavepim.Run(b, chip.Config16GB(), opt)
+	pimCfg := chip.Config16GB()
+	pimCfg.Interconnect = topoKind
+	res, err := wavepim.Run(b, pimCfg, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pim run: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("pim %s on PIM-16GB: %.4fs total, %.2f J (stage pipeline traced)\n",
-		b.Name(), res.TotalSec, res.EnergyJ)
+	fmt.Printf("pim %s on PIM-16GB (%s): %.4fs total, %.2f J (stage pipeline traced)\n",
+		b.Name(), pimCfg.Interconnect, res.TotalSec, res.EnergyJ)
 	log.Info("pim.run", eventlog.Str("bench", b.Name()),
 		eventlog.F64("total_seconds", res.TotalSec), eventlog.F64("energy_joules", res.EnergyJ))
 	if err := writeObs(sink, *tracePath, *metricsPath); err != nil {

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// The versioned HTTP surface. Every coordinator and worker endpoint lives
+// under /v1; the pre-versioning unversioned paths remain mounted as
+// permanent redirects (308, method- and body-preserving) so old clients
+// keep working, while new clients — and every internal control-plane
+// call — hit /v1 directly. DESIGN.md §11 documents the surface and the
+// migration table.
+
+// APIPrefix is the path prefix of the current API version.
+const APIPrefix = "/v1"
+
+// APIError is the single error envelope every /v1 endpoint returns on
+// failure. Code is a stable machine-readable string from the vocabulary
+// below; Retryable tells a client whether the same request can succeed
+// later without modification (backpressure, draining, transient upstream
+// failures) or is permanently malformed/missing.
+type APIError struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// The error-code vocabulary. Codes are append-only: clients switch on
+// them, so renaming one is a breaking API change.
+const (
+	CodeBadRequest = "bad_request" // malformed body, unknown equation/topology, bad id or priority
+	CodeNotFound   = "not_found"   // no such run/job, or no flight dump recorded
+	CodeNotReady   = "not_ready"   // resource exists but is not available yet (trace of a queued run)
+	CodeDraining   = "draining"    // server is shutting down; resubmit elsewhere or later
+	CodeQueueFull  = "queue_full"  // worker job queue at capacity
+	CodeQuota      = "quota"       // tenant quota exhausted
+	CodeUpstream   = "upstream"    // a worker the coordinator proxied to failed
+	CodeInternal   = "internal"    // invariant violation inside the server
+)
+
+// WriteAPIError writes the envelope with the given status.
+func WriteAPIError(w http.ResponseWriter, status int, code string, retryable bool, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(APIError{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		Retryable: retryable,
+	})
+}
+
+// RedirectV1 serves a legacy unversioned route: a permanent redirect to
+// the same path under /v1. 308 (not 301) so POST bodies survive the hop.
+func RedirectV1(w http.ResponseWriter, req *http.Request) {
+	target := APIPrefix + req.URL.Path
+	if q := req.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	http.Redirect(w, req, target, http.StatusPermanentRedirect)
+}
+
+// MountLegacyRedirects registers RedirectV1 for each legacy route root
+// ("/runs", "/jobs", ...), covering both the exact path and its subtree.
+func MountLegacyRedirects(mux *http.ServeMux, roots ...string) {
+	for _, r := range roots {
+		mux.HandleFunc(r, RedirectV1)
+		mux.HandleFunc(r+"/", RedirectV1)
+	}
+}

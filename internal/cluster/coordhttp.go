@@ -4,46 +4,51 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"strings"
+
+	"wavepim/internal/pim/chip"
 )
 
-// Handler builds the coordinator's mux.
+// Handler builds the coordinator's mux. The API lives under /v1; the
+// legacy unversioned routes answer 308 permanent redirects into it.
 //
-//	POST /jobs             submit a job (JobSpec JSON); 202 + {"id": ...};
-//	                       duplicates of a finished job: 200 + cached report
-//	GET  /jobs             list jobs in submission order
-//	GET  /jobs/{id}        one job (finished: the worker's report, verbatim)
-//	GET  /jobs/{id}/events the job's event stream, proxied from its worker
-//	POST /register         worker heartbeat (RegisterRequest JSON)
-//	POST /deregister       worker draining handoff
-//	GET  /workers          live membership, sorted by id
-//	GET  /metrics          aggregated Prometheus exposition (all workers + own)
-//	GET  /healthz          liveness
-//	GET  /readyz           readiness (503 once closed)
+//	POST /v1/jobs             submit a job (JobSpec JSON); 202 + {"id": ...};
+//	                          duplicates of a finished job: 200 + cached report
+//	GET  /v1/jobs             list jobs in submission order
+//	GET  /v1/jobs/{id}        one job (finished: the worker's report, verbatim)
+//	GET  /v1/jobs/{id}/events the job's event stream, proxied from its worker
+//	POST /v1/register         worker heartbeat (RegisterRequest JSON)
+//	POST /v1/deregister       worker draining handoff
+//	GET  /v1/workers          live membership, sorted by id
+//	GET  /v1/metrics          aggregated Prometheus exposition (all workers + own)
+//	GET  /v1/healthz          liveness
+//	GET  /v1/readyz           readiness (503 once closed)
+//
+// Errors are the APIError envelope ({code, message, retryable}).
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", c.handleSubmit)
-	mux.HandleFunc("GET /jobs", c.handleJobs)
-	mux.HandleFunc("GET /jobs/{id}", c.handleJob)
-	mux.HandleFunc("GET /jobs/{id}/events", c.handleJobEvents)
-	mux.HandleFunc("POST /register", c.handleRegister)
-	mux.HandleFunc("POST /deregister", c.handleDeregister)
-	mux.HandleFunc("GET /workers", c.handleWorkers)
-	mux.HandleFunc("GET /metrics", c.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", c.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleJobEvents)
+	mux.HandleFunc("POST /v1/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/deregister", c.handleDeregister)
+	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
+	mux.HandleFunc("GET /v1/metrics", c.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
-	mux.HandleFunc("GET /readyz", c.handleReadyz)
+	mux.HandleFunc("GET /v1/readyz", c.handleReadyz)
+	MountLegacyRedirects(mux, "/jobs", "/register", "/deregister", "/workers",
+		"/metrics", "/healthz", "/readyz")
 	return mux
 }
 
-func coordError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+// coordError writes the typed APIError envelope.
+func coordError(w http.ResponseWriter, status int, code string, retryable bool, format string, args ...any) {
+	WriteAPIError(w, status, code, retryable, format, args...)
 }
 
 // writeTerminal writes a finished job: the worker's report bytes
@@ -64,23 +69,29 @@ func writeTerminal(w http.ResponseWriter, j *cjob) {
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	var spec JobSpec
 	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<20)).Decode(&spec); err != nil {
-		coordError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		coordError(w, http.StatusBadRequest, CodeBadRequest, false, "bad job spec: %v", err)
 		return
 	}
 	if _, ok := EquationOf(spec.Equation); !ok {
-		coordError(w, http.StatusBadRequest, "unknown equation %q", spec.Equation)
+		coordError(w, http.StatusBadRequest, CodeBadRequest, false, "unknown equation %q", spec.Equation)
 		return
+	}
+	if spec.Topology != "" {
+		if _, err := chip.ParseInterconnect(spec.Topology); err != nil {
+			coordError(w, http.StatusBadRequest, CodeBadRequest, false, "%v", err)
+			return
+		}
 	}
 	j, existed, err := c.Submit(spec)
 	if err != nil {
 		var quota *ErrQuota
 		switch {
 		case errors.As(err, &quota):
-			coordError(w, http.StatusTooManyRequests, "%v", err)
+			coordError(w, http.StatusTooManyRequests, CodeQuota, true, "%v", err)
 		case isParseErr(err):
-			coordError(w, http.StatusBadRequest, "%v", err)
+			coordError(w, http.StatusBadRequest, CodeBadRequest, false, "%v", err)
 		default:
-			coordError(w, http.StatusServiceUnavailable, "%v", err)
+			coordError(w, http.StatusServiceUnavailable, CodeDraining, true, "%v", err)
 		}
 		return
 	}
@@ -115,7 +126,7 @@ func (c *Coordinator) handleJobs(w http.ResponseWriter, _ *http.Request) {
 func (c *Coordinator) handleJob(w http.ResponseWriter, req *http.Request) {
 	j, ok := c.Job(req.PathValue("id"))
 	if !ok {
-		coordError(w, http.StatusNotFound, "no such job")
+		coordError(w, http.StatusNotFound, CodeNotFound, false, "no such job")
 		return
 	}
 	j.mu.Lock()
@@ -133,7 +144,7 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, req *http.Request) {
 func (c *Coordinator) handleJobEvents(w http.ResponseWriter, req *http.Request) {
 	j, ok := c.Job(req.PathValue("id"))
 	if !ok {
-		coordError(w, http.StatusNotFound, "no such job")
+		coordError(w, http.StatusNotFound, CodeNotFound, false, "no such job")
 		return
 	}
 	j.mu.Lock()
@@ -147,24 +158,24 @@ func (c *Coordinator) handleJobEvents(w http.ResponseWriter, req *http.Request) 
 		}
 	}
 	if workerURL == "" {
-		coordError(w, http.StatusNotFound, "job has no live worker (status %s)", j.view().Status)
+		coordError(w, http.StatusNotFound, CodeNotFound, false, "job has no live worker (status %s)", j.view().Status)
 		return
 	}
 	// SSE streams outlive any sane control-plane timeout; use a bare
 	// client and tie the upstream to the downstream request context.
-	up, err := http.NewRequestWithContext(req.Context(), "GET", workerURL+"/runs/"+j.id+"/events", nil)
+	up, err := http.NewRequestWithContext(req.Context(), "GET", workerURL+"/v1/runs/"+j.id+"/events", nil)
 	if err != nil {
-		coordError(w, http.StatusBadGateway, "%v", err)
+		coordError(w, http.StatusBadGateway, CodeUpstream, true, "%v", err)
 		return
 	}
 	resp, err := http.DefaultTransport.RoundTrip(up)
 	if err != nil {
-		coordError(w, http.StatusBadGateway, "worker stream: %v", err)
+		coordError(w, http.StatusBadGateway, CodeUpstream, true, "worker stream: %v", err)
 		return
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		coordError(w, http.StatusBadGateway, "worker stream: status %d", resp.StatusCode)
+		coordError(w, http.StatusBadGateway, CodeUpstream, true, "worker stream: status %d", resp.StatusCode)
 		return
 	}
 	SSEHeaders(w)
@@ -175,11 +186,11 @@ func (c *Coordinator) handleJobEvents(w http.ResponseWriter, req *http.Request) 
 func (c *Coordinator) handleRegister(w http.ResponseWriter, req *http.Request) {
 	var r RegisterRequest
 	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<16)).Decode(&r); err != nil {
-		coordError(w, http.StatusBadRequest, "bad register body: %v", err)
+		coordError(w, http.StatusBadRequest, CodeBadRequest, false, "bad register body: %v", err)
 		return
 	}
 	if r.ID == "" || r.URL == "" {
-		coordError(w, http.StatusBadRequest, "register needs id and url")
+		coordError(w, http.StatusBadRequest, CodeBadRequest, false, "register needs id and url")
 		return
 	}
 	isNew := c.reg.Heartbeat(r.ID, r.URL)
@@ -190,7 +201,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, req *http.Request) {
 func (c *Coordinator) handleDeregister(w http.ResponseWriter, req *http.Request) {
 	var r RegisterRequest
 	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<16)).Decode(&r); err != nil {
-		coordError(w, http.StatusBadRequest, "bad deregister body: %v", err)
+		coordError(w, http.StatusBadRequest, CodeBadRequest, false, "bad deregister body: %v", err)
 		return
 	}
 	was := c.reg.Deregister(r.ID)
@@ -215,12 +226,12 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	var own bytes.Buffer
 	if err := c.metrics.WriteProm(&own); err != nil {
-		coordError(w, http.StatusInternalServerError, "%v", err)
+		coordError(w, http.StatusInternalServerError, CodeInternal, false, "%v", err)
 		return
 	}
 	sources := []PromSource{{Label: "", Text: own.String()}}
 	for _, wk := range workers { // sorted by ID
-		code, body, err := c.do("GET", wk.URL+"/metrics", nil)
+		code, body, err := c.do("GET", wk.URL+"/v1/metrics", nil)
 		if err != nil || code != http.StatusOK {
 			continue // an unreachable worker drops out; its TTL will evict it
 		}
@@ -228,7 +239,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	var merged bytes.Buffer
 	if err := MergeProm(&merged, sources); err != nil {
-		coordError(w, http.StatusBadGateway, "merge: %v", err)
+		coordError(w, http.StatusBadGateway, CodeUpstream, true, "merge: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -238,7 +249,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	select {
 	case <-c.ctx.Done():
-		coordError(w, http.StatusServiceUnavailable, "closed")
+		coordError(w, http.StatusServiceUnavailable, CodeDraining, true, "closed")
 	default:
 		io.WriteString(w, "ready\n")
 	}

@@ -278,7 +278,7 @@ func (c *Coordinator) dispatch(qj *QueuedJob) {
 	body := j.body
 	j.mu.Unlock()
 
-	code, respBody, err := c.do("POST", owner.URL+"/runs", body)
+	code, respBody, err := c.do("POST", owner.URL+"/v1/runs", body)
 	if err != nil {
 		c.reg.MarkDead(owner.ID)
 		c.retryJob(qj, j)
@@ -301,7 +301,7 @@ func (c *Coordinator) dispatch(qj *QueuedJob) {
 	}
 
 	for {
-		code, respBody, err := c.do("GET", owner.URL+"/runs/"+j.id, nil)
+		code, respBody, err := c.do("GET", owner.URL+"/v1/runs/"+j.id, nil)
 		if err != nil {
 			c.reg.MarkDead(owner.ID)
 			c.retryJob(qj, j)

@@ -55,10 +55,10 @@ func (h *Heartbeater) post(path string) error {
 }
 
 // Register sends one registration beat.
-func (h *Heartbeater) Register() error { return h.post("/register") }
+func (h *Heartbeater) Register() error { return h.post(APIPrefix + "/register") }
 
 // Deregister removes the worker from the coordinator's ring.
-func (h *Heartbeater) Deregister() error { return h.post("/deregister") }
+func (h *Heartbeater) Deregister() error { return h.post(APIPrefix + "/deregister") }
 
 // Start registers immediately (returning that first beat's error, so a
 // worker pointed at a dead coordinator fails loudly at startup) and then

@@ -23,6 +23,7 @@ type JobSpec struct {
 	Faults     string  `json:"faults"`             // fault.ParseSpec string, e.g. "seed=4,flip=1e-5"
 	Recover    string  `json:"recover"`            // fault.ParseRecoverySpec string
 	DeadlineMS int     `json:"deadline_ms"`        // wall-clock run deadline (0: none)
+	Topology   string  `json:"topology,omitempty"` // tile interconnect: htree (default) | bus | mesh | torus | flatfly | dragonfly
 	Tenant     string  `json:"tenant,omitempty"`   // admission-control tenant ("" is the anonymous tenant)
 	Priority   string  `json:"priority,omitempty"` // high | normal (default) | low
 }
@@ -66,12 +67,20 @@ func (s JobSpec) Digest() uint64 {
 	if cfl <= 0 {
 		cfl = 0.3
 	}
+	// Topology changes the simulated timing and energy of the run, so it
+	// is part of the content address; the empty string and "htree"
+	// normalize to one digest (they request the same run).
+	topo := s.Topology
+	if topo == "" {
+		topo = "htree"
+	}
 	k := wavepim.PlanKey{
 		Eq:       eq,
 		Flux:     wavepim.FluxFor(eq),
 		Np:       np,
 		EPerAxis: 1 << refine,
 		Chip:     "auto",
+		Topo:     topo,
 	}
 	const prime = 1099511628211
 	h := k.Digest()

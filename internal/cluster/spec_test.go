@@ -1,0 +1,42 @@
+package cluster
+
+import "testing"
+
+// TestJobSpecDigestTopology: the content digest distinguishes topologies
+// (the same spec on two fabrics is two distinct cached results), while
+// the empty string and "htree" normalize to one digest, and scheduling-
+// only fields stay excluded.
+func TestJobSpecDigestTopology(t *testing.T) {
+	base := JobSpec{Equation: "acoustic", Steps: 4}
+	d0 := base.Digest()
+
+	ht := base
+	ht.Topology = "htree"
+	if ht.Digest() != d0 {
+		t.Error("empty and htree topologies must share a digest (same run requested)")
+	}
+
+	seen := map[uint64]string{d0: "htree"}
+	for _, topo := range []string{"bus", "mesh", "torus", "flatfly", "dragonfly"} {
+		s := base
+		s.Topology = topo
+		d := s.Digest()
+		if prev, ok := seen[d]; ok {
+			t.Errorf("topology %q digest collides with %q", topo, prev)
+		}
+		seen[d] = topo
+	}
+
+	sched := base
+	sched.ID, sched.Tenant, sched.Priority = "j1", "acme", "high"
+	sched.Workers, sched.DeadlineMS = 8, 5000
+	if sched.Digest() != d0 {
+		t.Error("scheduling-only fields leaked into the content digest")
+	}
+
+	dyn := base
+	dyn.Faults = "seed=4,flip=1e-5"
+	if dyn.Digest() == d0 {
+		t.Error("fault spec must change the content digest")
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"wavepim/internal/dg/opcount"
+	"wavepim/internal/params"
+	"wavepim/internal/pim/chip"
+	"wavepim/internal/pim/intercon"
+	"wavepim/internal/report"
+	"wavepim/internal/wavepim"
+)
+
+// The topology sweep compares every constructible tile interconnect
+// (H-tree, Bus, Mesh, Torus, Flattened Butterfly, Dragonfly) across the
+// paper's six evaluation benchmarks on one chip configuration. The report
+// is byte-deterministic: the simulator is a pure function of its inputs,
+// every collection is a slice with fixed field order, and serialization
+// is encoding/json with fixed indentation — so two sweeps of the same
+// configuration produce identical bytes (the CI sweep guard cmp's them).
+
+// OccupancyHistogram summarizes one fabric's per-switch busy-seconds
+// ledger: how many switches never carried traffic, the busiest switch,
+// and a count of switches per occupancy octile of that maximum (Counts[7]
+// holds the switches within 1/8 of the busiest). A skewed histogram means
+// a hot spine; a flat one means the fabric spreads load.
+type OccupancyHistogram struct {
+	Switches int     `json:"switches"`
+	Idle     int     `json:"idle"`
+	MaxSec   float64 `json:"max_seconds"`
+	MeanSec  float64 `json:"mean_seconds"`
+	TotalSec float64 `json:"total_seconds"`
+	Counts   [8]int  `json:"octile_counts"`
+}
+
+func buildHistogram(busy []float64) OccupancyHistogram {
+	h := OccupancyHistogram{Switches: len(busy)}
+	for _, v := range busy {
+		if v > h.MaxSec {
+			h.MaxSec = v
+		}
+		h.TotalSec += v
+	}
+	if len(busy) > 0 {
+		h.MeanSec = h.TotalSec / float64(len(busy))
+	}
+	for _, v := range busy {
+		if v <= 0 {
+			h.Idle++
+			continue
+		}
+		idx := int(v / h.MaxSec * 8)
+		if idx > 7 {
+			idx = 7
+		}
+		h.Counts[idx]++
+	}
+	return h
+}
+
+// TimelineSpan is one stage-pipeline phase in the sweep report.
+type TimelineSpan struct {
+	Name  string  `json:"name"`
+	Start float64 `json:"start_seconds"`
+	Dur   float64 `json:"duration_seconds"`
+}
+
+// SweepBench is one benchmark's outcome on one topology.
+type SweepBench struct {
+	Bench           string             `json:"bench"`
+	StageSec        float64            `json:"stage_seconds"`
+	TotalSec        float64            `json:"total_seconds"`
+	Cycles          int64              `json:"cycles"`
+	DynamicJ        float64            `json:"dynamic_joules"`
+	StaticJ         float64            `json:"static_joules"`
+	EnergyJ         float64            `json:"energy_joules"`
+	Transfers       int64              `json:"transfers"`
+	Backpressured   int64              `json:"backpressured"`
+	BackpressureSec float64            `json:"backpressure_seconds"`
+	SpeedupVsHTree  float64            `json:"speedup_vs_htree"`
+	EnergyVsHTree   float64            `json:"energy_vs_htree"`
+	TileOccupancy   OccupancyHistogram `json:"tile_occupancy"`
+	ChipOccupancy   OccupancyHistogram `json:"chip_occupancy"`
+	Timeline        []TimelineSpan     `json:"timeline"`
+}
+
+// SweepTopology groups one fabric's results.
+type SweepTopology struct {
+	Topology     string       `json:"topology"`
+	TileSwitches int          `json:"tile_switches"`
+	LeakageW     float64      `json:"tile_leakage_watts"`
+	Benches      []SweepBench `json:"benchmarks"`
+}
+
+// SweepReport is the full comparison.
+type SweepReport struct {
+	Chip       string          `json:"chip"`
+	TimeSteps  int             `json:"time_steps"`
+	Topologies []SweepTopology `json:"topologies"`
+}
+
+// TopologySweep runs every benchmark of the evaluation on every
+// constructible interconnect of cfg's chip. timeSteps <= 0 selects the
+// paper's 1024. Speedup and energy ratios are relative to the H-tree
+// (the paper's default), which sweeps first.
+func TopologySweep(cfg chip.Config, timeSteps int) (*SweepReport, error) {
+	if timeSteps <= 0 {
+		timeSteps = params.TimeStepsPerRun
+	}
+	rep := &SweepReport{Chip: cfg.Name, TimeSteps: timeSteps}
+	benches := opcount.AllBenchmarks()
+	baseTotal := make([]float64, len(benches))
+	baseEnergy := make([]float64, len(benches))
+	for _, name := range intercon.Names() {
+		kind, err := chip.ParseInterconnect(name)
+		if err != nil {
+			return nil, err
+		}
+		tcfg := cfg
+		tcfg.Interconnect = kind
+		topo, err := intercon.New(name, params.BlocksPerTile, intercon.Config{Fanout: tcfg.Fanout})
+		if err != nil {
+			return nil, err
+		}
+		st := SweepTopology{
+			Topology:     name,
+			TileSwitches: topo.SwitchCount(),
+			LeakageW:     topo.LeakagePowerW(),
+		}
+		for i, b := range benches {
+			opt := wavepim.DefaultOptions()
+			opt.TimeSteps = timeSteps
+			res, err := wavepim.Run(b, tcfg, opt)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", b.Name(), name, err)
+			}
+			if name == "htree" {
+				baseTotal[i] = res.TotalSec
+				baseEnergy[i] = res.EnergyJ
+			}
+			sb := SweepBench{
+				Bench:           b.Name(),
+				StageSec:        res.StageSec,
+				TotalSec:        res.TotalSec,
+				Cycles:          int64(math.Round(res.TotalSec * params.WavePIM2GB.ClockMHz * 1e6)),
+				DynamicJ:        res.DynamicJ,
+				StaticJ:         res.StaticJ,
+				EnergyJ:         res.EnergyJ,
+				Transfers:       res.Intercon.Transfers,
+				Backpressured:   res.Intercon.Backpressured,
+				BackpressureSec: res.Intercon.BackpressureSec,
+				SpeedupVsHTree:  baseTotal[i] / res.TotalSec,
+				EnergyVsHTree:   baseEnergy[i] / res.EnergyJ,
+				TileOccupancy:   buildHistogram(res.Intercon.TileSwitchBusy),
+				ChipOccupancy:   buildHistogram(res.Intercon.ChipSwitchBusy),
+			}
+			for _, p := range res.Timeline {
+				sb.Timeline = append(sb.Timeline, TimelineSpan{Name: p.Name, Start: p.Start, Dur: p.Dur})
+			}
+			st.Benches = append(st.Benches, sb)
+		}
+		rep.Topologies = append(rep.Topologies, st)
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report with fixed two-space indentation.
+func (r *SweepReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// TopologySweepTable renders the sweep as a per-benchmark comparison of
+// run time, energy, and congestion across fabrics.
+func TopologySweepTable(r *SweepReport) *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Interconnect topology sweep (%s, %d steps; ratios vs H-tree)",
+			r.Chip, r.TimeSteps),
+		Headers: []string{"Benchmark", "Topology", "Switches", "Total", "Energy",
+			"Speedup", "Backpressured", "Busiest switch"},
+	}
+	if len(r.Topologies) == 0 {
+		return t
+	}
+	for i := range r.Topologies[0].Benches {
+		for _, st := range r.Topologies {
+			b := st.Benches[i]
+			t.AddRow(b.Bench, st.Topology, fmt.Sprintf("%d", st.TileSwitches),
+				report.Seconds(b.TotalSec), report.Joules(b.EnergyJ),
+				report.F(b.SpeedupVsHTree, 2)+"x",
+				fmt.Sprintf("%d", b.Backpressured),
+				report.Seconds(b.TileOccupancy.MaxSec))
+		}
+	}
+	return t
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wavepim/internal/pim/chip"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the topology-sweep golden file")
+
+// goldenSweep is the fixed configuration behind the committed golden:
+// the smallest chip, a handful of steps. The sweep is analytic, so the
+// step count only scales the totals — it does not change convergence.
+func goldenSweep(t *testing.T) []byte {
+	t.Helper()
+	r, err := TopologySweep(chip.Config512MB(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTopologySweepByteDeterminism: two sweeps over the same
+// configuration serialize to identical bytes — the property the
+// regression guard and the committed golden both lean on.
+func TestTopologySweepByteDeterminism(t *testing.T) {
+	a := goldenSweep(t)
+	b := goldenSweep(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical sweeps produced different report bytes")
+	}
+}
+
+// TestTopologySweepGolden pins the report bytes to the committed
+// golden, so any change to fabric pricing, the contention loop, or the
+// report schema is a visible diff. Regenerate with:
+//
+//	go test ./internal/experiments/ -run TestTopologySweepGolden -update
+func TestTopologySweepGolden(t *testing.T) {
+	path := filepath.Join("testdata", "toposweep_golden.json")
+	got := goldenSweep(t)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		// Find the first divergence for a readable failure.
+		n := len(got)
+		if len(want) < n {
+			n = len(want)
+		}
+		i := 0
+		for i < n && got[i] == want[i] {
+			i++
+		}
+		lo := i - 60
+		if lo < 0 {
+			lo = 0
+		}
+		hiG, hiW := i+60, i+60
+		if hiG > len(got) {
+			hiG = len(got)
+		}
+		if hiW > len(want) {
+			hiW = len(want)
+		}
+		t.Fatalf("sweep report drifted from golden at byte %d:\n got ...%s...\nwant ...%s...\n(regenerate with -update if the change is intended)",
+			i, got[lo:hiG], want[lo:hiW])
+	}
+}

@@ -119,6 +119,9 @@ const OffChipBandwidthBps = 900e9
 const (
 	SwitchHopLatencySec   = 4.4e-9   // per 1 Kb row-buffer payload per switch hop
 	BusHopPenalty         = 2.0      // bus switch drives tile-spanning wires
+	MeshHopPenalty        = 1.0      // mesh/torus links span one switch neighborhood
+	FlatFlyHopPenalty     = 1.5      // flattened-butterfly express links cross rows/columns
+	DragonflyHopPenalty   = 1.75     // dragonfly mixes local and tile-spanning global links
 	PayloadWords          = 32       // words per routed payload (one row buffer)
 	SwitchHopEnergyJ      = 0.18e-12 // per 32-bit word per switch hop
 	BlockRowReadLatency   = TSearchSec

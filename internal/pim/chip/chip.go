@@ -17,19 +17,41 @@ import (
 	"wavepim/internal/pim/xbar"
 )
 
-// InterconnectKind selects the tile interconnect.
-type InterconnectKind int
+// InterconnectKind names the tile interconnect topology. It is a string
+// so configs, JobSpecs, and CLI flags share one vocabulary — the set of
+// valid names is intercon.Names(). The zero value selects the paper's
+// default H-tree.
+type InterconnectKind string
 
 const (
-	HTree InterconnectKind = iota
-	Bus
+	HTree     InterconnectKind = "htree"
+	Bus       InterconnectKind = "bus"
+	Mesh      InterconnectKind = "mesh"
+	Torus     InterconnectKind = "torus"
+	FlatFly   InterconnectKind = "flatfly"
+	Dragonfly InterconnectKind = "dragonfly"
 )
 
 func (k InterconnectKind) String() string {
-	if k == HTree {
+	if k == "" {
 		return "htree"
 	}
-	return "bus"
+	return string(k)
+}
+
+// ParseInterconnect validates a wire/CLI topology name ("" means htree).
+func ParseInterconnect(s string) (InterconnectKind, error) {
+	if _, err := intercon.New(s, params.BlocksPerTile, intercon.Config{}); err != nil {
+		return "", err
+	}
+	return InterconnectKind(s).normalize(), nil
+}
+
+func (k InterconnectKind) normalize() InterconnectKind {
+	if k == "" {
+		return HTree
+	}
+	return k
 }
 
 // Config describes one chip configuration.
@@ -76,10 +98,18 @@ func (c Config) Validate() error {
 	if c.CapacityBytes <= 0 || c.CapacityBytes%(int64(BlockBytes)*params.BlocksPerTile) != 0 {
 		return fmt.Errorf("chip: capacity %d is not a whole number of 32MB tiles", c.CapacityBytes)
 	}
-	if c.Interconnect == HTree && c.Fanout < 2 {
+	if k := c.Interconnect.normalize(); k == HTree && c.Fanout < 2 {
 		return fmt.Errorf("chip: H-tree fanout %d < 2", c.Fanout)
 	}
+	if _, err := c.tileTopology(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// tileTopology builds one tile's interconnect from the configuration.
+func (c Config) tileTopology() (intercon.Topology, error) {
+	return intercon.New(string(c.Interconnect), params.BlocksPerTile, intercon.Config{Fanout: c.Fanout})
 }
 
 // ---------------------------------------------------------------------------
@@ -114,11 +144,8 @@ func PowerModel(c Config) Power {
 		HostW:          params.PowerCPUHostW,
 	}
 	p.TileMemoryW = params.PowerCrossbarArrayW * params.BlocksPerTile
-	switch c.Interconnect {
-	case HTree:
-		p.TileSwitchW = intercon.NewHTree(params.BlocksPerTile, c.Fanout).LeakagePowerW()
-	case Bus:
-		p.TileSwitchW = params.PowerBusSwitchW
+	if topo, err := c.tileTopology(); err == nil {
+		p.TileSwitchW = topo.LeakagePowerW()
 	}
 	p.TileW = p.TileMemoryW + p.TileSwitchW
 	p.TotalW = float64(c.NumTiles())*p.TileW + p.ControllerW + p.HostW
@@ -167,14 +194,15 @@ func New(c Config) (*Chip, error) {
 		return nil, err
 	}
 	ch := &Chip{Config: c, blocks: make(map[int]*xbar.Block)}
+	// Topologies are stateless routing tables, so every tile shares one
+	// instance (a 16 GB chip has 512 tiles of identical shape).
+	topo, err := c.tileTopology()
+	if err != nil {
+		return nil, err
+	}
 	ch.topos = make([]intercon.Topology, c.NumTiles())
 	for i := range ch.topos {
-		switch c.Interconnect {
-		case HTree:
-			ch.topos[i] = intercon.NewHTree(params.BlocksPerTile, c.Fanout)
-		case Bus:
-			ch.topos[i] = intercon.NewBus(params.BlocksPerTile)
-		}
+		ch.topos[i] = topo
 	}
 	return ch, nil
 }

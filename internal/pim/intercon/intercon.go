@@ -1,13 +1,19 @@
-// Package intercon models the two inter-block interconnects of Section 4.2:
+// Package intercon models the inter-block interconnect of Section 4.2 as a
+// pluggable routing/congestion substrate. The paper evaluates two designs —
 // the H-tree (a fanout-4 switch tree per memory tile, 85 switches for a
-// 256-block tile) and the Bus (one central switch). The essential
-// difference the paper evaluates — transfers through disjoint H-tree
-// subtrees proceed in parallel while every bus transfer serializes through
-// the single switch — is captured by a contention-aware list scheduler.
+// 256-block tile) and the Bus (one central switch) — and this package keeps
+// those two bit-exact while adding four classic NoC fabrics (mesh, torus,
+// flattened butterfly, dragonfly) behind the same Topology interface. The
+// essential behaviour the paper evaluates — transfers through disjoint
+// routes proceed in parallel while transfers sharing a switch serialize —
+// is captured by a contention-aware list scheduler built on an explicit
+// estimate → occupy → backpressure loop over per-switch channel ledgers.
 package intercon
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"wavepim/internal/params"
 )
@@ -19,9 +25,12 @@ type Transfer struct {
 	Words    int // 32-bit words moved
 }
 
-// Topology routes transfers between leaf blocks.
+// Topology routes transfers between leaf blocks. Beyond the path view
+// (Path), implementations expose a channel view — SwitchCount, Radix, and
+// EgressHops — that the scheduler's occupancy ledger and the topology-sweep
+// reports are built on.
 type Topology interface {
-	// Name returns "htree" or "bus".
+	// Name returns the wire name of the topology (one of Names()).
 	Name() string
 	// Path returns the switch IDs a src->dst transfer traverses, in order.
 	// An empty path means src == dst (no interconnect involvement).
@@ -32,10 +41,72 @@ type Topology interface {
 	LeakagePowerW() float64
 	// Leaves is the number of leaf blocks.
 	Leaves() int
-	// HopLatency is the per-payload per-hop latency: H-tree switches span
-	// a fanout-sized neighborhood, while the single bus switch drives
-	// wires across the whole tile and is correspondingly slower.
+	// HopLatency is the per-payload per-hop latency: H-tree and mesh
+	// switches span a fanout-sized neighborhood, while bus/express/global
+	// links drive longer wires and are correspondingly slower.
 	HopLatency() float64
+	// Radix is the port count of the busiest switch (attached leaves plus
+	// inter-switch links) — the channel-view size used for leakage scaling
+	// and sweep reports.
+	Radix() int
+	// EgressHops is the number of switch crossings from a leaf to the
+	// topology's chip-port gateway (for a tree, the depth). Cross-tile
+	// transfers pay this leg inside both endpoint tiles.
+	EgressHops() int
+}
+
+// Names lists the wire names of every constructible topology, in the
+// canonical sweep order (the two paper designs first).
+func Names() []string {
+	return []string{"htree", "bus", "mesh", "torus", "flatfly", "dragonfly"}
+}
+
+// ErrUnknownTopology reports a topology name outside Names().
+var ErrUnknownTopology = errors.New("unknown interconnect topology")
+
+// Config carries the per-topology construction knobs. The zero value
+// selects the paper defaults.
+type Config struct {
+	Fanout int // H-tree fanout (default 4); ignored by the other fabrics
+}
+
+// New builds a topology by wire name over the given leaf count. The empty
+// name selects the paper's default H-tree. Unknown names wrap
+// ErrUnknownTopology (errors.Is-matchable).
+func New(name string, leaves int, cfg Config) (Topology, error) {
+	fanout := cfg.Fanout
+	if fanout < 2 {
+		fanout = 4
+	}
+	switch name {
+	case "", "htree":
+		return NewHTree(leaves, fanout), nil
+	case "bus":
+		return NewBus(leaves), nil
+	case "mesh":
+		return NewMesh(leaves), nil
+	case "torus":
+		return NewTorus(leaves), nil
+	case "flatfly":
+		return NewFlattenedButterfly(leaves), nil
+	case "dragonfly":
+		return NewDragonfly(leaves), nil
+	}
+	return nil, fmt.Errorf("intercon: %w: %q (known: %s)",
+		ErrUnknownTopology, name, strings.Join(Names(), ", "))
+}
+
+// perSwitchLeakW is the leakage of one H-tree-class (radix-5) switch,
+// derived from Table 3's 85-switch tile budget. The non-paper fabrics scale
+// it by their switch count and radix.
+func perSwitchLeakW() float64 {
+	return params.PowerHTreeSwitchesW / params.HTreeSwitchesPerTile
+}
+
+// scaledLeakW prices a fabric of n switches of the given radix against the
+// H-tree's radix-5 (four children plus one parent) reference switch.
+func scaledLeakW(n, radix int) float64 {
+	return perSwitchLeakW() * float64(n) * float64(radix) / 5.0
 }
 
 // ---------------------------------------------------------------------------
@@ -96,12 +167,17 @@ func (h *HTree) SwitchCount() int {
 // LeakagePowerW scales the published 85-switch tile power to this tree's
 // switch count.
 func (h *HTree) LeakagePowerW() float64 {
-	perSwitch := params.PowerHTreeSwitchesW / params.HTreeSwitchesPerTile
-	return perSwitch * float64(h.SwitchCount())
+	return perSwitchLeakW() * float64(h.SwitchCount())
 }
 
 // HopLatency implements Topology.
 func (h *HTree) HopLatency() float64 { return params.SwitchHopLatencySec }
+
+// Radix implements Topology: fanout children plus the parent link.
+func (h *HTree) Radix() int { return h.fanout + 1 }
+
+// EgressHops implements Topology: the tree depth (a leaf-to-root climb).
+func (h *HTree) EgressHops() int { return len(h.levelCount) }
 
 // switchAt returns the global ID of the level-l ancestor switch of a leaf.
 func (h *HTree) switchAt(leaf, level int) int {
@@ -173,6 +249,12 @@ func (b *Bus) LeakagePowerW() float64 { return params.PowerBusSwitchW }
 // switch's neighborhood hop.
 func (b *Bus) HopLatency() float64 { return params.BusHopPenalty * params.SwitchHopLatencySec }
 
+// Radix implements Topology: every leaf hangs off the one switch.
+func (b *Bus) Radix() int { return b.leaves }
+
+// EgressHops implements Topology.
+func (b *Bus) EgressHops() int { return 1 }
+
 // Path implements Topology.
 func (b *Bus) Path(src, dst int) []int {
 	if src < 0 || src >= b.leaves || dst < 0 || dst >= b.leaves {
@@ -185,7 +267,7 @@ func (b *Bus) Path(src, dst int) []int {
 }
 
 // ---------------------------------------------------------------------------
-// Contention-aware scheduling
+// Contention-aware scheduling: estimate -> occupy -> backpressure
 // ---------------------------------------------------------------------------
 
 // Span records when one transfer occupied the interconnect.
@@ -202,18 +284,76 @@ type Schedule struct {
 	Makespan float64 // time until the last transfer completes
 	EnergyJ  float64 // dynamic switching energy
 	Words    int64   // total words moved
+	// Backpressure accounting: a transfer whose estimated injection time
+	// is pushed past zero by a busy switch on its route counts as one
+	// backpressure event, and the push is its backpressure wait.
+	Backpressured   int
+	BackpressureSec float64
+}
+
+// Occupancy is the per-switch channel ledger of the contention loop: for
+// every switch it tracks when the switch next falls idle, and optionally
+// accumulates total busy-seconds per switch (the sweep reports' occupancy
+// histograms). One ledger prices one batch; the simulated timeline charges
+// batches sequentially exactly as before.
+type Occupancy struct {
+	free map[int]float64
+	busy []float64 // per-switch busy seconds; nil when not tracked
+}
+
+// NewOccupancy builds an empty ledger for a topology. busy, when non-nil,
+// must have at least t.SwitchCount() entries; Occupy accumulates each
+// switch's occupied seconds into it (across ledgers, if shared).
+func NewOccupancy(busy []float64) *Occupancy {
+	return &Occupancy{free: make(map[int]float64), busy: busy}
+}
+
+// Estimate returns the earliest start time at which every switch of the
+// path is free when the payload stream reaches it under store-and-forward
+// pipelining (the stream hits switch i at start + i*hop).
+func (o *Occupancy) Estimate(path []int, hop float64) float64 {
+	var start float64
+	for i, s := range path {
+		if t := o.free[s] - float64(i)*hop; t > start {
+			start = t
+		}
+	}
+	return start
+}
+
+// Occupy books the path: switch i is busy from start + i*hop for occupy
+// seconds. Subsequent Estimates on overlapping routes are pushed behind
+// this booking — that push is the backpressure the scheduler accounts.
+func (o *Occupancy) Occupy(path []int, hop, start, occupy float64) {
+	for i, s := range path {
+		o.free[s] = start + float64(i)*hop + occupy
+	}
+	if o.busy != nil {
+		for _, s := range path {
+			o.busy[s] += occupy
+		}
+	}
 }
 
 // ScheduleBatch schedules the transfers in order with greedy list
 // scheduling under store-and-forward pipelining: the payload stream
 // occupies switch i of its route for payloads hop-cycles starting one
 // hop-cycle after switch i-1, so a switch is released as soon as the
-// stream has passed through it. Disjoint H-tree routes overlap fully; bus
-// routes always share switch 0 and therefore serialize — the Section
-// 4.2.2 behaviour ("the bus switch processes these transmissions
+// stream has passed through it. Each transfer runs one estimate -> occupy
+// round against the batch's channel ledger; a congested switch backpressures
+// later transfers (serializing them), while disjoint routes overlap fully —
+// on the bus every route shares switch 0 and therefore serializes, the
+// Section 4.2.2 behaviour ("the bus switch processes these transmissions
 // sequentially").
 func ScheduleBatch(topo Topology, batch []Transfer) Schedule {
-	free := make(map[int]float64)
+	return ScheduleBatchBusy(topo, batch, nil)
+}
+
+// ScheduleBatchBusy is ScheduleBatch with per-switch busy-seconds
+// accumulation into busy (len >= topo.SwitchCount(); nil disables). The
+// timing math is identical — busy tracking only observes the ledger.
+func ScheduleBatchBusy(topo Topology, batch []Transfer, busy []float64) Schedule {
+	occ := NewOccupancy(busy)
 	var out Schedule
 	// Per-transfer spans are kept for inspection on small batches only;
 	// large timing-mode batches (hundreds of thousands of transfers) skip
@@ -227,15 +367,16 @@ func ScheduleBatch(topo Topology, batch []Transfer) Schedule {
 		}
 		payloads := (tr.Words + params.PayloadWords - 1) / params.PayloadWords
 		occupy := float64(payloads) * hop
-		// Earliest start such that every switch i is free at start + i*hop.
-		var start float64
-		for i, s := range path {
-			if t := free[s] - float64(i)*hop; t > start {
-				start = t
-			}
-		}
-		for i, s := range path {
-			free[s] = start + float64(i)*hop + occupy
+		// Estimate: earliest start such that every switch i is free at
+		// start + i*hop.
+		start := occ.Estimate(path, hop)
+		// Occupy: book the route at that start.
+		occ.Occupy(path, hop, start, occupy)
+		// Backpressure: any push past immediate injection means a busy
+		// switch serialized this transfer behind an earlier one.
+		if start > 0 {
+			out.Backpressured++
+			out.BackpressureSec += start
 		}
 		end := start + float64(len(path)-1)*hop + occupy
 		if recordSpans {

@@ -21,7 +21,7 @@ func randMask(r *rand.Rand) map[int]bool {
 // or out-of-range leaf, and the routable remainder schedules without
 // panicking on both topologies.
 func TestFilterMaskedPartitionAndSchedule(t *testing.T) {
-	topos := []Topology{NewHTree(64, 4), NewBus(64)}
+	topos := allTopos(t, 64)
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		batch := randBatch(r, 1+r.Intn(24))

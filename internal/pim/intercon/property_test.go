@@ -6,6 +6,21 @@ import (
 	"testing/quick"
 )
 
+// allTopos builds every constructible topology over the given leaf count
+// through the factory — the same path production configs take.
+func allTopos(t *testing.T, leaves int) []Topology {
+	t.Helper()
+	var topos []Topology
+	for _, name := range Names() {
+		topo, err := New(name, leaves, Config{})
+		if err != nil {
+			t.Fatalf("New(%q, %d): %v", name, leaves, err)
+		}
+		topos = append(topos, topo)
+	}
+	return topos
+}
+
 // randBatch builds a random transfer batch over a 64-leaf topology.
 func randBatch(r *rand.Rand, n int) []Transfer {
 	batch := make([]Transfer, n)
@@ -28,7 +43,7 @@ func singleDur(topo Topology, tr Transfer) float64 {
 // Property: the makespan is bounded below by the longest individual
 // transfer and above by the fully serial sum.
 func TestScheduleMakespanBounds(t *testing.T) {
-	topos := []Topology{NewHTree(64, 4), NewBus(64)}
+	topos := allTopos(t, 64)
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		batch := randBatch(r, 1+r.Intn(20))
@@ -54,24 +69,29 @@ func TestScheduleMakespanBounds(t *testing.T) {
 }
 
 // Property: energy is order-independent and additive (it counts physical
-// word-hops, not scheduling luck).
+// word-hops, not scheduling luck) — on every fabric.
 func TestScheduleEnergyOrderIndependent(t *testing.T) {
-	topo := NewHTree(64, 4)
+	topos := allTopos(t, 64)
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		batch := randBatch(r, 2+r.Intn(10))
-		e1 := ScheduleBatch(topo, batch).EnergyJ
-		// Reverse the order.
-		rev := make([]Transfer, len(batch))
-		for i, tr := range batch {
-			rev[len(batch)-1-i] = tr
+		for _, topo := range topos {
+			e1 := ScheduleBatch(topo, batch).EnergyJ
+			// Reverse the order.
+			rev := make([]Transfer, len(batch))
+			for i, tr := range batch {
+				rev[len(batch)-1-i] = tr
+			}
+			e2 := ScheduleBatch(topo, rev).EnergyJ
+			var sum float64
+			for _, tr := range batch {
+				sum += ScheduleBatch(topo, []Transfer{tr}).EnergyJ
+			}
+			if !closeRel(e1, e2, 1e-12) || !closeRel(e1, sum, 1e-12) {
+				return false
+			}
 		}
-		e2 := ScheduleBatch(topo, rev).EnergyJ
-		var sum float64
-		for _, tr := range batch {
-			sum += ScheduleBatch(topo, []Transfer{tr}).EnergyJ
-		}
-		return closeRel(e1, e2, 1e-12) && closeRel(e1, sum, 1e-12)
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
@@ -122,6 +142,84 @@ func TestBusMakespanIsSerialSum(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Property: on every topology and a range of leaf counts (including ones
+// that leave a partial switch group or grid row), every pair of distinct
+// leaves is routable: the path is non-empty, every switch ID is in range,
+// no switch repeats consecutively, and the route length is symmetric
+// (len Path(a,b) == len Path(b,a) under deterministic minimal routing).
+func TestPathValidityAllTopologies(t *testing.T) {
+	for _, leaves := range []int{16, 64, 72, 100, 256} {
+		for _, topo := range allTopos(t, leaves) {
+			n := topo.SwitchCount()
+			maxLen := n // a minimal deterministic route never revisits the fabric
+			r := rand.New(rand.NewSource(int64(leaves)))
+			check := func(src, dst int) {
+				p := topo.Path(src, dst)
+				q := topo.Path(dst, src)
+				if src == dst {
+					if len(p) != 0 {
+						t.Fatalf("%s/%d: Path(%d,%d) = %v, want empty", topo.Name(), leaves, src, dst, p)
+					}
+					return
+				}
+				if len(p) == 0 {
+					t.Fatalf("%s/%d: Path(%d,%d) unreachable", topo.Name(), leaves, src, dst)
+				}
+				if len(p) > maxLen {
+					t.Fatalf("%s/%d: Path(%d,%d) = %d switches > %d", topo.Name(), leaves, src, dst, len(p), maxLen)
+				}
+				if len(p) != len(q) {
+					t.Fatalf("%s/%d: asymmetric route %d<->%d: %v vs %v", topo.Name(), leaves, src, dst, p, q)
+				}
+				for i, s := range p {
+					if s < 0 || s >= n {
+						t.Fatalf("%s/%d: Path(%d,%d) switch %d out of range [0,%d)", topo.Name(), leaves, src, dst, s, n)
+					}
+					if i > 0 && p[i-1] == s {
+						t.Fatalf("%s/%d: Path(%d,%d) repeats switch %d: %v", topo.Name(), leaves, src, dst, s, p)
+					}
+				}
+			}
+			// Exhaustive on small fabrics, sampled on large ones.
+			if leaves <= 72 {
+				for src := 0; src < leaves; src++ {
+					for dst := 0; dst < leaves; dst++ {
+						check(src, dst)
+					}
+				}
+			} else {
+				for i := 0; i < 2000; i++ {
+					check(r.Intn(leaves), r.Intn(leaves))
+				}
+			}
+		}
+	}
+}
+
+// Property: on every fabric, a batch of same-switch-group transfers (all
+// endpoints attached to one switch) never backpressures transfers on a
+// disjoint group's switch — disjoint routes overlap fully.
+func TestDisjointRoutesOverlap(t *testing.T) {
+	for _, topo := range allTopos(t, 64) {
+		if topo.Name() == "bus" {
+			continue // one shared switch: everything serializes by design
+		}
+		batch := []Transfer{
+			{Src: 0, Dst: 1, Words: 256}, // group 0 local
+			{Src: 4, Dst: 5, Words: 256}, // group 1 local, disjoint switch
+		}
+		s := ScheduleBatch(topo, batch)
+		single := ScheduleBatch(topo, batch[:1])
+		if !closeRel(s.Makespan, single.Makespan, 1e-12) {
+			t.Errorf("%s: disjoint local transfers serialized: batch %.3e vs single %.3e",
+				topo.Name(), s.Makespan, single.Makespan)
+		}
+		if s.Backpressured != 0 {
+			t.Errorf("%s: disjoint local transfers backpressured %d times", topo.Name(), s.Backpressured)
+		}
 	}
 }
 

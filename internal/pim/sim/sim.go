@@ -124,22 +124,62 @@ type Engine struct {
 	TransferCt int64
 	DRAMBytes  int64
 
-	// chipTree routes cross-tile transfers: an H-tree whose leaves are the
-	// chip's tiles (the chip-level counterpart of the per-tile trees).
+	// chipTree routes cross-tile transfers: the same topology kind as the
+	// tiles, instantiated over the chip's tiles (the chip-level counterpart
+	// of the per-tile networks).
 	chipTree intercon.Topology
+
+	// Interconnect congestion accounting — the observables of the
+	// estimate -> occupy -> backpressure contention loop, aggregated over
+	// every scheduled batch of the run. tileSwitchBusy sums per-local-
+	// switch busy seconds across all tiles (every tile shares one topology
+	// shape); chipSwitchBusy does the same for the chip-level network.
+	tileSwitchBusy      []float64
+	chipSwitchBusy      []float64
+	xferBackpressured   int64
+	xferBackpressureSec float64
+}
+
+// InterconReport is the run-level congestion summary of the interconnect:
+// how many transfers were backpressured behind a busy switch, the total
+// wait, and the per-switch busy-second ledgers (index = switch id; tile
+// entries sum over all tiles).
+type InterconReport struct {
+	Topology        string    `json:"topology"`
+	Transfers       int64     `json:"transfers"`
+	Backpressured   int64     `json:"backpressured"`
+	BackpressureSec float64   `json:"backpressure_seconds"`
+	TileSwitchBusy  []float64 `json:"tile_switch_busy_seconds"`
+	ChipSwitchBusy  []float64 `json:"chip_switch_busy_seconds,omitempty"`
+}
+
+// InterconReport snapshots the congestion accounting accumulated so far.
+func (e *Engine) InterconReport() InterconReport {
+	r := InterconReport{
+		Topology:        e.Chip.Config.Interconnect.String(),
+		Transfers:       e.TransferCt,
+		Backpressured:   e.xferBackpressured,
+		BackpressureSec: e.xferBackpressureSec,
+	}
+	r.TileSwitchBusy = append([]float64(nil), e.tileSwitchBusy...)
+	r.ChipSwitchBusy = append([]float64(nil), e.chipSwitchBusy...)
+	return r
 }
 
 // New creates an engine over a chip. The chip-level (inter-tile) network
-// matches the configured tile interconnect kind: a fanout-4 H-tree over
-// tiles, or a single chip-wide bus for the Bus design.
+// matches the configured tile interconnect kind, instantiated over the
+// chip's tiles (e.g. a fanout-4 H-tree over tiles, or a single chip-wide
+// bus for the Bus design). The chip validated the topology name, so the
+// factory cannot fail here.
 func New(ch *chip.Chip, functional bool) *Engine {
 	e := &Engine{Chip: ch, Functional: functional}
 	if n := ch.Config.NumTiles(); n > 1 {
-		if ch.Config.Interconnect == chip.Bus {
-			e.chipTree = intercon.NewBus(n)
-		} else {
-			e.chipTree = intercon.NewHTree(n, 4)
+		t, err := intercon.New(string(ch.Config.Interconnect), n,
+			intercon.Config{Fanout: ch.Config.Fanout})
+		if err != nil {
+			panic(err)
 		}
+		e.chipTree = t
 	}
 	return e
 }
@@ -328,10 +368,10 @@ func (e *Engine) ExecBlocksCtx(ctx context.Context, name string, progs map[int][
 		// active): scrub and retry costs are kept out of dur/energy so
 		// the block phase stays nominal and the overhead lands on
 		// dedicated sim.fault.* phases.
-		scrubSec, scrubJ float64
-		retrySec, retryJ float64
+		scrubSec, scrubJ                            float64
+		retrySec, retryJ                            float64
 		detected, corrected, uncorrectable, retries int64
-		failed bool
+		failed                                      bool
 	}
 	costs := make([]blockCost, len(ids))
 	instrumented := e.Obs != nil
@@ -845,18 +885,8 @@ func (e *Engine) routeHops(src, dst int) int {
 	if st == dt {
 		return len(e.Chip.Topology(st).Path(e.Chip.LocalID(src), e.Chip.LocalID(dst)))
 	}
-	depth := treeDepth(e.Chip.Topology(st))
+	depth := e.Chip.Topology(st).EgressHops()
 	return 2*depth + 1 // up the source tile, across the chip router, down the destination tile
-}
-
-func treeDepth(t intercon.Topology) int {
-	if t.Name() == "bus" {
-		return 1
-	}
-	// Depth of a fanout-f tree over the tile's leaves: path length from a
-	// leaf to the root.
-	p := t.Path(0, t.Leaves()-1)
-	return (len(p) + 1) / 2
 }
 
 // ExecTransfers schedules a batch of inter-block transfers. Intra-tile
@@ -878,9 +908,9 @@ func (e *Engine) ExecTransfers(name string, trs []RowTransfer) Phase {
 				Src: e.Chip.LocalID(tr.SrcBlock), Dst: e.Chip.LocalID(tr.DstBlock), Words: tr.Words})
 		} else {
 			cross = append(cross, intercon.Transfer{Src: st, Dst: dt, Words: tr.Words})
-			// The legs inside the two tiles (leaf to tile root and back).
+			// The legs inside the two tiles (leaf to tile gateway and back).
 			payloads := (tr.Words + params.PayloadWords - 1) / params.PayloadWords
-			crossEndpoints += float64(2 * treeDepth(e.Chip.Topology(st)) * payloads)
+			crossEndpoints += float64(2 * e.Chip.Topology(st).EgressHops() * payloads)
 		}
 		if e.Functional {
 			e.moveWords(tr)
@@ -896,14 +926,25 @@ func (e *Engine) ExecTransfers(name string, trs []RowTransfer) Phase {
 	sort.Ints(tiles)
 	var dur, energy float64
 	for _, tile := range tiles {
-		s := intercon.ScheduleBatch(e.Chip.Topology(tile), perTile[tile])
+		topo := e.Chip.Topology(tile)
+		if e.tileSwitchBusy == nil {
+			e.tileSwitchBusy = make([]float64, topo.SwitchCount())
+		}
+		s := intercon.ScheduleBatchBusy(topo, perTile[tile], e.tileSwitchBusy)
+		e.xferBackpressured += int64(s.Backpressured)
+		e.xferBackpressureSec += s.BackpressureSec
 		if s.Makespan > dur {
 			dur = s.Makespan
 		}
 		energy += s.EnergyJ
 	}
 	if len(cross) > 0 && e.chipTree != nil {
-		s := intercon.ScheduleBatch(e.chipTree, cross)
+		if e.chipSwitchBusy == nil {
+			e.chipSwitchBusy = make([]float64, e.chipTree.SwitchCount())
+		}
+		s := intercon.ScheduleBatchBusy(e.chipTree, cross, e.chipSwitchBusy)
+		e.xferBackpressured += int64(s.Backpressured)
+		e.xferBackpressureSec += s.BackpressureSec
 		// Tile-internal legs of cross-tile routes add energy and latency.
 		legEnergy := crossEndpoints * params.PayloadWords * params.SwitchHopEnergyJ
 		crossDur := s.Makespan + crossEndpoints/float64(len(cross))*params.SwitchHopLatencySec
@@ -985,6 +1026,10 @@ func (e *Engine) Reset() {
 	e.DRAMBytes = 0
 	e.err = nil
 	e.pendingFault = nil
+	e.tileSwitchBusy = nil
+	e.chipSwitchBusy = nil
+	e.xferBackpressured = 0
+	e.xferBackpressureSec = 0
 	atomic.StoreInt64(&e.norEvals, 0)
 	atomic.StoreInt64(&e.norSets, 0)
 	atomic.StoreInt64(&e.norResets, 0)
@@ -1004,6 +1049,8 @@ func (e *Engine) PublishTotals() {
 	e.Obs.Gauge("sim.transfer_count").Set(float64(e.TransferCt))
 	e.Obs.Gauge("sim.dram_bytes").Set(float64(e.DRAMBytes))
 	e.Obs.Gauge("sim.workers").Set(float64(e.Workers))
+	e.Obs.Gauge("sim.intercon.backpressured").Set(float64(e.xferBackpressured))
+	e.Obs.Gauge("sim.intercon.backpressure_seconds").Set(e.xferBackpressureSec)
 	if e.SlabWords > 0 {
 		st := e.NORGateStats()
 		e.Obs.Gauge("sim.nor.slab_words").Set(float64(e.SlabWords))

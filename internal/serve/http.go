@@ -9,32 +9,39 @@ import (
 
 	"wavepim/internal/cluster"
 	"wavepim/internal/obs/eventlog"
+	"wavepim/internal/pim/chip"
 )
 
-// Handler builds the daemon's mux.
+// Handler builds the daemon's mux. The API lives under /v1; the legacy
+// unversioned routes answer 308 permanent redirects into it. pprof stays
+// at its conventional /debug/pprof/ root (the pprof handlers parse the
+// profile name out of that exact path) and is additionally reachable
+// under /v1 via a prefix strip.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /runs", s.handleSubmit)
-	mux.HandleFunc("GET /runs", s.handleList)
-	mux.HandleFunc("GET /runs/{id}", s.handleRun)
-	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /runs/{id}/trace", s.handleTrace)
-	mux.HandleFunc("GET /runs/{id}/flight", s.handleFlight)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/runs/{id}/flight", s.handleFlight)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/v1/debug/pprof/", http.StripPrefix("/v1", http.HandlerFunc(pprof.Index)))
+	cluster.MountLegacyRedirects(mux, "/runs", "/metrics", "/healthz", "/readyz")
 	return mux
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+// httpError writes the cluster API's typed error envelope
+// ({code, message, retryable}); see internal/cluster/api.go.
+func httpError(w http.ResponseWriter, status int, code string, retryable bool, format string, args ...any) {
+	cluster.WriteAPIError(w, status, code, retryable, format, args...)
 }
 
 // handleSubmit accepts a job. When the spec carries a client id, the
@@ -44,12 +51,18 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	var spec JobSpec
 	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<20)).Decode(&spec); err != nil {
-		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		httpError(w, http.StatusBadRequest, cluster.CodeBadRequest, false, "bad job spec: %v", err)
 		return
 	}
 	if _, ok := EquationOf(spec.Equation); !ok {
-		httpError(w, http.StatusBadRequest, "unknown equation %q", spec.Equation)
+		httpError(w, http.StatusBadRequest, cluster.CodeBadRequest, false, "unknown equation %q", spec.Equation)
 		return
+	}
+	if spec.Topology != "" {
+		if _, err := chip.ParseInterconnect(spec.Topology); err != nil {
+			httpError(w, http.StatusBadRequest, cluster.CodeBadRequest, false, "%v", err)
+			return
+		}
 	}
 	if spec.Steps <= 0 {
 		spec.Steps = 4
@@ -58,7 +71,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	if spec.ID != "" {
 		id, err := cluster.NormalizeJobID(spec.ID)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad job id: %v", err)
+			httpError(w, http.StatusBadRequest, cluster.CodeBadRequest, false, "bad job id: %v", err)
 			return
 		}
 		clientID = id
@@ -76,7 +89,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	}
 	if s.draining {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		httpError(w, http.StatusServiceUnavailable, cluster.CodeDraining, true, "shutting down")
 		return
 	}
 	id := clientID
@@ -95,7 +108,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		}
 		s.mu.Unlock()
 		s.reg.CounterVec("wavepimd.runs", "status").With("rejected").Inc()
-		httpError(w, http.StatusServiceUnavailable, "job queue full")
+		httpError(w, http.StatusServiceUnavailable, cluster.CodeQueueFull, true, "job queue full")
 		return
 	}
 	s.mu.Unlock()
@@ -128,7 +141,7 @@ func (s *Server) lookup(req *http.Request) (*run, bool) {
 func (s *Server) handleRun(w http.ResponseWriter, req *http.Request) {
 	r, ok := s.lookup(req)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such run")
+		httpError(w, http.StatusNotFound, cluster.CodeNotFound, false, "no such run")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -142,7 +155,7 @@ func (s *Server) handleRun(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	r, ok := s.lookup(req)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such run")
+		httpError(w, http.StatusNotFound, cluster.CodeNotFound, false, "no such run")
 		return
 	}
 	r.mu.Lock()
@@ -178,7 +191,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, req *http.Request) {
 	r, ok := s.lookup(req)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such run")
+		httpError(w, http.StatusNotFound, cluster.CodeNotFound, false, "no such run")
 		return
 	}
 	r.mu.Lock()
@@ -186,7 +199,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, req *http.Request) {
 	status := r.status
 	r.mu.Unlock()
 	if sink == nil {
-		httpError(w, http.StatusConflict, "run is %s; trace not available yet", status)
+		httpError(w, http.StatusConflict, cluster.CodeNotReady, true, "run is %s; trace not available yet", status)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -196,14 +209,14 @@ func (s *Server) handleTrace(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleFlight(w http.ResponseWriter, req *http.Request) {
 	r, ok := s.lookup(req)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such run")
+		httpError(w, http.StatusNotFound, cluster.CodeNotFound, false, "no such run")
 		return
 	}
 	r.mu.Lock()
 	dump := r.dump
 	r.mu.Unlock()
 	if dump == nil {
-		httpError(w, http.StatusNotFound, "run has no flight dump")
+		httpError(w, http.StatusNotFound, cluster.CodeNotFound, false, "run has no flight dump")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -228,7 +241,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
-		httpError(w, http.StatusServiceUnavailable, "draining")
+		httpError(w, http.StatusServiceUnavailable, cluster.CodeDraining, true, "draining")
 		return
 	}
 	io.WriteString(w, "ready\n")

@@ -339,6 +339,9 @@ func (s *Server) buildSession(spec JobSpec, id string, sink *obs.Sink, log *even
 	if spec.Workers > 0 {
 		opts = append(opts, wavepim.WithWorkers(spec.Workers))
 	}
+	if spec.Topology != "" {
+		opts = append(opts, wavepim.WithTopology(spec.Topology))
+	}
 	if spec.Faults != "" {
 		fcfg, err := fault.ParseSpec(spec.Faults)
 		if err != nil {

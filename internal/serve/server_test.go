@@ -32,9 +32,17 @@ func postJSON(t *testing.T, url, body string) (int, map[string]string) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out map[string]string
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	// Success bodies are string maps; error bodies are the APIError
+	// envelope whose retryable field is a bool — keep only the strings.
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
 		t.Fatalf("response not JSON: %v", err)
+	}
+	out := make(map[string]string, len(raw))
+	for k, v := range raw {
+		if s, ok := v.(string); ok {
+			out[k] = s
+		}
 	}
 	return resp.StatusCode, out
 }

@@ -341,13 +341,24 @@ type FunctionalElastic struct {
 	CacheHit bool
 }
 
-// NewFunctionalElastic builds the elastic functional system.
+// NewFunctionalElastic builds the elastic functional system. It is a thin
+// veneer over NewSession — new code should use the Session API directly.
 func NewFunctionalElastic(m *mesh.Mesh, mat material.Elastic, flux dg.FluxType, dt float64) (*FunctionalElastic, error) {
-	cfg, err := chipFor(m.NumElem * 4)
+	eq := opcount.ElasticRiemann
+	if flux == dg.CentralFlux {
+		eq = opcount.ElasticCentral
+	}
+	s, err := NewSession(
+		WithEquation(eq),
+		WithMesh(m),
+		WithElasticMaterial(mat),
+		WithFlux(flux),
+		WithDt(dt),
+	)
 	if err != nil {
 		return nil, err
 	}
-	return newFunctionalElasticOn(cfg, m, mat, flux, dt)
+	return s.Elastic(), nil
 }
 
 // newFunctionalElasticOn is NewFunctionalElastic on a caller-chosen chip
@@ -375,7 +386,7 @@ func newFunctionalElasticOn(cfg chip.Config, m *mesh.Mesh, mat material.Elastic,
 	if flux == dg.RiemannFlux {
 		eq = opcount.ElasticRiemann
 	}
-	key := PlanKey{Eq: eq, Flux: flux, Np: m.Np, EPerAxis: m.EPerAxis, Chip: cfg.Name}
+	key := PlanKey{Eq: eq, Flux: flux, Np: m.Np, EPerAxis: m.EPerAxis, Chip: cfg.Name, Topo: cfg.Interconnect.String()}
 	f.plan, f.CacheHit = elasticPlanFor(key, f.Comp, m, f.Place)
 	return f, nil
 }

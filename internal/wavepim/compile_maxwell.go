@@ -211,13 +211,20 @@ type FunctionalMaxwell struct {
 }
 
 // NewFunctionalMaxwell builds the system (four-slot elements, two compute
-// blocks each).
+// blocks each). It is a thin veneer over NewSession — new code should use
+// the Session API directly.
 func NewFunctionalMaxwell(m *mesh.Mesh, mat material.Dielectric, flux dg.FluxType, dt float64) (*FunctionalMaxwell, error) {
-	cfg, err := chipFor(m.NumElem * 4)
+	s, err := NewSession(
+		WithEquation(opcount.Maxwell),
+		WithMesh(m),
+		WithDielectric(mat),
+		WithFlux(flux),
+		WithDt(dt),
+	)
 	if err != nil {
 		return nil, err
 	}
-	return newFunctionalMaxwellOn(cfg, m, mat, flux, dt)
+	return s.Maxwell(), nil
 }
 
 // newFunctionalMaxwellOn is NewFunctionalMaxwell on a caller-chosen chip
@@ -241,7 +248,7 @@ func newFunctionalMaxwellOn(cfg chip.Config, m *mesh.Mesh, mat material.Dielectr
 		Engine: newFunctionalEngine(ch),
 		Dt:     dt,
 	}
-	key := PlanKey{Eq: opcount.Maxwell, Flux: flux, Np: m.Np, EPerAxis: m.EPerAxis, Chip: cfg.Name}
+	key := PlanKey{Eq: opcount.Maxwell, Flux: flux, Np: m.Np, EPerAxis: m.EPerAxis, Chip: cfg.Name, Topo: cfg.Interconnect.String()}
 	f.plan, f.CacheHit = maxwellPlanFor(key, f.Comp, m, f.Place)
 	return f, nil
 }

@@ -64,9 +64,21 @@ type FunctionalAcoustic struct {
 
 // NewFunctionalAcoustic builds the functional system on a 512MB chip. The
 // mesh must be periodic (every element has six neighbors, as in the
-// paper's benchmark meshes) and small enough to fit without batching.
+// paper's benchmark meshes) and small enough to fit without batching. It
+// is a thin veneer over NewSession — new code should use the Session API
+// directly (WithChip, WithTopology, WithObs, ...).
 func NewFunctionalAcoustic(m *mesh.Mesh, mat material.Acoustic, flux dg.FluxType, dt float64) (*FunctionalAcoustic, error) {
-	return newFunctionalAcousticOn(chip.Config512MB(), m, mat, flux, dt)
+	s, err := NewSession(
+		WithEquation(opcount.Acoustic),
+		WithMesh(m),
+		WithAcousticMaterial(mat),
+		WithFlux(flux),
+		WithDt(dt),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return s.Acoustic(), nil
 }
 
 // newFunctionalAcousticOn is NewFunctionalAcoustic on a caller-chosen chip
@@ -93,7 +105,7 @@ func newFunctionalAcousticOn(cfg chip.Config, m *mesh.Mesh, mat material.Acousti
 		Engine: newFunctionalEngine(ch),
 		Dt:     dt,
 	}
-	key := PlanKey{Eq: opcount.Acoustic, Flux: flux, Np: m.Np, EPerAxis: m.EPerAxis, Chip: cfg.Name}
+	key := PlanKey{Eq: opcount.Acoustic, Flux: flux, Np: m.Np, EPerAxis: m.EPerAxis, Chip: cfg.Name, Topo: cfg.Interconnect.String()}
 	f.plan, f.CacheHit = acousticPlanFor(key, f.Comp, m, f.Place)
 	return f, nil
 }

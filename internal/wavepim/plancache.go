@@ -31,6 +31,7 @@ type PlanKey struct {
 	Np       int
 	EPerAxis int
 	Chip     string
+	Topo     string // interconnect topology name ("" means the default H-tree)
 }
 
 // Digest returns the FNV-1a content address of the key (stable across
@@ -54,6 +55,14 @@ func (k PlanKey) Digest() uint64 {
 	mix(uint64(k.EPerAxis))
 	for i := 0; i < len(k.Chip); i++ {
 		h ^= uint64(k.Chip[i])
+		h *= prime64
+	}
+	// A separator keeps (Chip, Topo) pairs from aliasing across the
+	// string boundary.
+	h ^= 0xff
+	h *= prime64
+	for i := 0; i < len(k.Topo); i++ {
+		h ^= uint64(k.Topo[i])
 		h *= prime64
 	}
 	return h

@@ -60,6 +60,11 @@ type Result struct {
 	Breakdown     Breakdown
 	Timeline      []StagePhase // one batch's stage pipeline (Figure 13)
 	InstrPerStage int64
+	// Intercon is the congestion view of the priced stage: which
+	// interconnect ran, how many transfers backpressured behind busy
+	// switches, and the per-switch occupancy (seconds busy) of the tile
+	// and chip fabrics.
+	Intercon sim.InterconReport
 }
 
 // FluxFor returns the flux solver of a benchmark: the acoustic group and
@@ -537,6 +542,7 @@ func (r *runner) run() (Result, error) {
 		HostSec:          r.bd.HostSec * scale,
 	}
 	res.Timeline = r.tl
+	res.Intercon = r.eng.InterconReport()
 	r.publish(res)
 	return res, nil
 }

@@ -14,6 +14,7 @@ import (
 	"wavepim/internal/obs/eventlog"
 	"wavepim/internal/pim/chip"
 	"wavepim/internal/pim/fault"
+	"wavepim/internal/pim/intercon"
 	"wavepim/internal/pim/sim"
 	"wavepim/internal/pim/xbar"
 )
@@ -48,18 +49,21 @@ type Session struct {
 }
 
 type sessionConfig struct {
-	eq      opcount.Equation
-	mesh    *mesh.Mesh
-	flux    dg.FluxType
-	fluxSet bool
-	dt      float64
+	eq        opcount.Equation
+	mesh      *mesh.Mesh
+	flux      dg.FluxType
+	fluxSet   bool
+	dt        float64
 	chip      *chip.Config
 	workers   int
 	slabWords int
-	sink    *obs.Sink
-	acMat   material.Acoustic
-	elMat   material.Elastic
-	diel    material.Dielectric
+	topoName  string
+	topoSet   bool
+	topo      topoConfig
+	sink      *obs.Sink
+	acMat     material.Acoustic
+	elMat     material.Elastic
+	diel      material.Dielectric
 
 	faults   *fault.Config
 	recovery *fault.Recovery
@@ -103,6 +107,42 @@ func WithDt(dt float64) Option {
 // does not fit the pinned chip.
 func WithChip(cfg chip.Config) Option {
 	return func(c *sessionConfig) { c.chip = &cfg }
+}
+
+// ErrUnknownTopology reports a WithTopology name outside intercon.Names().
+// It is the intercon sentinel re-exported so callers can errors.Is against
+// either package.
+var ErrUnknownTopology = intercon.ErrUnknownTopology
+
+// topoConfig carries WithTopology's tuning knobs.
+type topoConfig struct {
+	fanout int
+}
+
+// TopologyOption tunes a WithTopology selection.
+type TopologyOption func(*topoConfig)
+
+// WithTopologyFanout sets the H-tree fanout (default 4; the other fabrics
+// ignore it — their switch concentration is fixed at 4 leaves per switch).
+func WithTopologyFanout(n int) TopologyOption {
+	return func(t *topoConfig) { t.fanout = n }
+}
+
+// WithTopology selects the tile interconnect by name — one of
+// intercon.Names(): "htree" (the paper's default), "bus", "mesh", "torus",
+// "flatfly", "dragonfly". The empty string keeps the default H-tree. It
+// overrides the topology of whatever chip configuration the session
+// resolves (pinned via WithChip or auto-sized), so callers pick fabric and
+// capacity independently. An unknown name fails NewSession with an error
+// satisfying errors.Is(err, ErrUnknownTopology).
+func WithTopology(name string, opts ...TopologyOption) Option {
+	return func(c *sessionConfig) {
+		c.topoName = name
+		c.topoSet = true
+		for _, o := range opts {
+			o(&c.topo)
+		}
+	}
 }
 
 // WithWorkers sets the engine's worker-pool size (default: one per core).
@@ -225,15 +265,19 @@ func NewSession(opts ...Option) (*Session, error) {
 	if !cfg.fluxSet {
 		cfg.flux = FluxFor(cfg.eq)
 	}
+	topoKind, err := cfg.topologyKind()
+	if err != nil {
+		return nil, err
+	}
 
 	s := &Session{cfg: cfg}
-	var err error
 	switch cfg.eq {
 	case opcount.Acoustic:
 		chipCfg := chip.Config512MB()
 		if cfg.chip != nil {
 			chipCfg = *cfg.chip
 		}
+		chipCfg = cfg.applyTopology(chipCfg, topoKind)
 		s.ac, err = newFunctionalAcousticOn(chipCfg, cfg.mesh, cfg.acMat, cfg.flux, cfg.dt)
 		if err == nil {
 			s.eng = s.ac.Engine
@@ -243,6 +287,7 @@ func NewSession(opts ...Option) (*Session, error) {
 		if cerr != nil {
 			return nil, cerr
 		}
+		chipCfg = cfg.applyTopology(chipCfg, topoKind)
 		s.el, err = newFunctionalElasticOn(chipCfg, cfg.mesh, cfg.elMat, cfg.flux, cfg.dt)
 		if err == nil {
 			s.eng = s.el.Engine
@@ -252,6 +297,7 @@ func NewSession(opts ...Option) (*Session, error) {
 		if cerr != nil {
 			return nil, cerr
 		}
+		chipCfg = cfg.applyTopology(chipCfg, topoKind)
 		s.mx, err = newFunctionalMaxwellOn(chipCfg, cfg.mesh, cfg.diel, cfg.flux, cfg.dt)
 		if err == nil {
 			s.eng = s.mx.Engine
@@ -340,6 +386,33 @@ func sessionChip(cfg sessionConfig, nBlocks int) (chip.Config, error) {
 	return chipFor(nBlocks)
 }
 
+// topologyKind validates the WithTopology selection eagerly, before any
+// chip is built, so an unknown name fails construction with the typed
+// sentinel rather than surfacing from deep inside chip.New.
+func (c sessionConfig) topologyKind() (chip.InterconnectKind, error) {
+	if !c.topoSet {
+		return "", nil
+	}
+	k, err := chip.ParseInterconnect(c.topoName)
+	if err != nil {
+		return "", fmt.Errorf("wavepim: %w", err)
+	}
+	return k, nil
+}
+
+// applyTopology overrides the resolved chip configuration's interconnect
+// with the WithTopology selection.
+func (c sessionConfig) applyTopology(cc chip.Config, k chip.InterconnectKind) chip.Config {
+	if !c.topoSet {
+		return cc
+	}
+	cc.Interconnect = k
+	if c.topo.fanout > 0 {
+		cc.Fanout = c.topo.fanout
+	}
+	return cc
+}
+
 // Engine exposes the underlying execution engine (clock, energy, stats).
 func (s *Session) Engine() *sim.Engine { return s.eng }
 
@@ -348,6 +421,10 @@ func (s *Session) Obs() *obs.Sink { return s.cfg.sink }
 
 // Equation returns the equation the session was built for.
 func (s *Session) Equation() opcount.Equation { return s.cfg.eq }
+
+// Topology returns the normalized name of the tile interconnect the
+// session's chip was built with ("htree" unless overridden).
+func (s *Session) Topology() string { return s.eng.Chip.Config.Interconnect.String() }
 
 // PlanCacheHit reports whether this session's compiled plan was served
 // from the process-wide plan cache (true for every session after the

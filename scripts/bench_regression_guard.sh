@@ -51,5 +51,14 @@ for k in shared:
 
 if failed:
     sys.exit(f"bench guard: {new_file} regresses derived speedups vs {prev_file}")
+
+# Informational-only derived keys (no floor): the deterministic
+# topology_* cost-model ratios and anything else without "_speedup".
+info = [k for k in new if "_speedup" not in k]
+if info:
+    print(f"  informational (no floor): {len(info)} keys")
+    for k in sorted(k for k in info if k.startswith("topology_")):
+        print(f"    {k}: {new[k]}")
+
 print(f"bench guard: {new_file} holds the line vs {prev_file} ({len(shared)} speedups)")
 EOF

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# topology_sweep.sh — CI guard for the interconnect topology sweep.
+#
+# Builds cmd/paperbench, runs the sweep (all six fabrics x all six
+# evaluation benchmarks) twice on the same configuration, and requires:
+#   1. the two JSON reports are byte-identical (the report is a pure
+#      function of its inputs; any nondeterminism is a regression)
+#   2. the report covers every topology in canonical order with every
+#      benchmark present and physically sensible (positive time/energy)
+#   3. the H-tree rows are the 1.00x baseline of the comparison
+#
+# Usage: scripts/topology_sweep.sh [chip] [steps]
+#   chip   defaults to PIM-2GB (the paper's Table 3 configuration)
+#   steps  defaults to 8 (the sweep's cost model is per-stage, so short
+#          runs exercise the same code as the paper's 1024 steps)
+#   RACE=1 builds the sweep binary with the race detector (CI smoke)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CHIP="${1:-PIM-2GB}"
+STEPS="${2:-8}"
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+if [[ -n "${RACE:-}" ]]; then
+	go build -race -o "$TMP/paperbench" ./cmd/paperbench
+else
+	go build -o "$TMP/paperbench" ./cmd/paperbench
+fi
+
+"$TMP/paperbench" -chip "$CHIP" -steps "$STEPS" -topologysweep "$TMP/a.json" >/dev/null
+"$TMP/paperbench" -chip "$CHIP" -steps "$STEPS" -topologysweep "$TMP/b.json" >/dev/null
+cmp "$TMP/a.json" "$TMP/b.json"
+echo "byte-deterministic: two sweeps produced identical $(wc -c <"$TMP/a.json") byte reports"
+
+python3 - "$TMP/a.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+topos = [t["topology"] for t in r["topologies"]]
+want = ["htree", "bus", "mesh", "torus", "flatfly", "dragonfly"]
+if topos != want:
+    sys.exit(f"topologies {topos} != {want}")
+for t in r["topologies"]:
+    if len(t["benchmarks"]) != 6:
+        sys.exit(f"{t['topology']}: {len(t['benchmarks'])} benchmarks, want 6")
+    if t["tile_switches"] < 1:
+        sys.exit(f"{t['topology']}: no switches")
+    for b in t["benchmarks"]:
+        if b["total_seconds"] <= 0 or b["energy_joules"] <= 0:
+            sys.exit(f"{t['topology']}/{b['bench']}: non-positive time or energy")
+        if t["topology"] == "htree" and abs(b["speedup_vs_htree"] - 1.0) > 1e-12:
+            sys.exit(f"htree/{b['bench']}: baseline speedup {b['speedup_vs_htree']} != 1")
+print(f"sweep ok: {len(topos)} topologies x {len(r['topologies'][0]['benchmarks'])} "
+      f"benchmarks on {r['chip']} ({r['time_steps']} steps)")
+EOF
+
+echo "PASS"

@@ -2,10 +2,11 @@
 # wavepimd_smoke.sh — CI end-to-end smoke test of the telemetry daemon.
 #
 # Builds cmd/wavepimd, starts it on a random loopback port, then:
-#   1. checks /healthz and /readyz answer 200
+#   1. checks /v1/healthz and /v1/readyz answer 200, and that the legacy
+#      unversioned paths answer 308 permanent redirects into /v1
 #   2. submits one small acoustic job on the canonical healing fault
 #      scenario and polls it to completion
-#   3. scrapes /metrics and runs the exposition through a strict parser,
+#   3. scrapes /v1/metrics and runs the exposition through a strict parser,
 #      requiring the per-phase span histograms and fault-rung counters the
 #      job must have produced
 #
@@ -43,21 +44,24 @@ fetch() {
 }
 
 for i in $(seq 1 50); do
-	if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+	if curl -sf "$BASE/v1/healthz" >/dev/null 2>&1; then break; fi
 	if [ "$i" = 50 ]; then echo "FAIL: daemon never became healthy" >&2; exit 1; fi
 	sleep 0.1
 done
-fetch 200 /healthz >/dev/null
-fetch 200 /readyz >/dev/null
-echo "healthz/readyz ok on $BASE"
+fetch 200 /v1/healthz >/dev/null
+fetch 200 /v1/readyz >/dev/null
+# The legacy unversioned surface must answer permanent redirects into /v1.
+fetch 308 /healthz >/dev/null
+fetch 308 /runs >/dev/null
+echo "healthz/readyz ok on $BASE (legacy paths 308 into /v1)"
 
-ID=$(fetch 202 /runs -X POST \
+ID=$(fetch 202 /v1/runs -X POST \
 	-d '{"equation":"acoustic","steps":4,"faults":"seed=4,flip=1e-5,stuck=1e-6"}' |
 	python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
 echo "submitted run $ID"
 
 for i in $(seq 1 100); do
-	STATUS=$(fetch 200 "/runs/$ID" | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])')
+	STATUS=$(fetch 200 "/v1/runs/$ID" | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])')
 	case "$STATUS" in
 	done) break ;;
 	failed) echo "FAIL: run $ID failed" >&2; exit 1 ;;
@@ -68,7 +72,7 @@ done
 echo "run $ID done"
 
 METRICS=$(mktemp)
-fetch 200 /metrics >"$METRICS"
+fetch 200 /v1/metrics >"$METRICS"
 python3 - "$METRICS" <<'EOF'
 import re
 import sys
