@@ -52,13 +52,44 @@ func main() {
 	dispatchers := flag.Int("dispatchers", 8, "concurrent dispatch loops")
 	maxQueued := flag.Int("max-queued", 1024, "per-tenant queued-job quota")
 	maxActive := flag.Int("max-active", 256, "per-tenant active-job quota")
+	journalPath := flag.String("journal", "", "append-only JSONL job journal; replayed on startup (empty: in-memory only)")
+	maxRetries := flag.Int("max-retries", 64, "per-job dispatch retry budget")
+	backoffBase := flag.Duration("backoff-base", 10*time.Millisecond, "first-retry backoff")
+	backoffCap := flag.Duration("backoff-cap", 2*time.Second, "retry backoff ceiling")
+	seed := flag.Uint64("seed", 0, "seed for deterministic retry jitter")
+	maxJobs := flag.Int("max-jobs", 16384, "tracked-job bound; oldest terminal jobs evict beyond it")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive dispatch failures that open a worker's circuit")
+	breakerProbe := flag.Duration("breaker-probe", 500*time.Millisecond, "open-circuit probe delay")
 	flag.Parse()
 
-	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{
+	opts := cluster.CoordinatorOptions{
 		TTL:         *ttl,
 		Dispatchers: *dispatchers,
 		Quota:       cluster.QuotaConfig{MaxQueued: *maxQueued, MaxActive: *maxActive},
-	})
+		MaxRetries:  *maxRetries,
+		BackoffBase: *backoffBase,
+		BackoffCap:  *backoffCap,
+		Seed:        *seed,
+		MaxJobs:     *maxJobs,
+		Breaker:     cluster.BreakerConfig{Threshold: *breakerThreshold, Probe: *breakerProbe},
+	}
+	var journal *cluster.Journal
+	if *journalPath != "" {
+		j, recs, err := cluster.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		journal = j
+		opts.Journal = j
+		opts.Replay = recs
+	}
+	coord := cluster.NewCoordinator(opts)
+	if journal != nil {
+		r := coord.Replay()
+		fmt.Fprintf(os.Stderr, "wavepimctl journal %s: %d records, %d restored, %d requeued, %d dropped\n",
+			*journalPath, r.Records, r.Restored, r.Requeued, r.Dropped)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: coord.Handler()}
 
 	errCh := make(chan error, 1)
@@ -70,6 +101,11 @@ func main() {
 	select {
 	case <-sigCh:
 		coord.Close()
+		if journal != nil {
+			if err := journal.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

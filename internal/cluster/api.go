@@ -36,8 +36,10 @@ const (
 	CodeDraining   = "draining"    // server is shutting down; resubmit elsewhere or later
 	CodeQueueFull  = "queue_full"  // worker job queue at capacity
 	CodeQuota      = "quota"       // tenant quota exhausted
-	CodeUpstream   = "upstream"    // a worker the coordinator proxied to failed
-	CodeInternal   = "internal"    // invariant violation inside the server
+	CodeConflict   = "conflict"    // id already tracked with different content
+
+	CodeUpstream = "upstream" // a worker the coordinator proxied to failed
+	CodeInternal = "internal" // invariant violation inside the server
 )
 
 // WriteAPIError writes the envelope with the given status.

@@ -223,6 +223,13 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	d := c.adm.Depths()
 	c.metrics.Gauge("wavepimctl.workers").Set(float64(len(workers)))
 	c.metrics.Gauge("wavepimctl.queue_depth").Set(float64(d.Queued))
+	if c.journal != nil {
+		c.metrics.Gauge("wavepimctl.journal_records").Set(float64(c.journal.Records()))
+	}
+	for _, bv := range c.breakers.Snapshot() {
+		c.metrics.GaugeVec("wavepimctl.breaker_state", "worker").
+			With(bv.Worker).Set(float64(bv.State))
+	}
 
 	var own bytes.Buffer
 	if err := c.metrics.WriteProm(&own); err != nil {
@@ -246,11 +253,20 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Write(merged.Bytes())
 }
 
+// handleReadyz reports readiness plus what the startup journal replay
+// did — operators checking a restarted coordinator see at a glance how
+// many jobs were restored with their reports and how many were
+// re-admitted for dispatch.
 func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	select {
 	case <-c.ctx.Done():
 		coordError(w, http.StatusServiceUnavailable, CodeDraining, true, "closed")
 	default:
-		io.WriteString(w, "ready\n")
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Ready   bool        `json:"ready"`
+			Journal bool        `json:"journal"`
+			Replay  ReplayStats `json:"replay"`
+		}{Ready: true, Journal: c.journal != nil, Replay: c.Replay()})
 	}
 }

@@ -1,11 +1,15 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -16,11 +20,14 @@ import (
 // The coordinator. Submissions pass per-tenant admission control, wait
 // in priority queues, and are dispatched to the consistent-hash owner of
 // their job id. Dispatch is at-least-once on top of the workers'
-// idempotent /runs: a forwarding or polling failure marks the worker
-// dead, rebalances the ring, and requeues the job at the front of its
-// class, so an accepted job is never dropped — it lands on the next
-// owner and (thanks to the client-supplied id) never runs twice on the
-// same worker.
+// idempotent /runs, but budgeted: every bounce (transport failure, 503
+// backpressure, lost run) consumes one unit of the job's retry budget
+// and costs a capped-exponential, deterministically jittered backoff;
+// a job that exhausts its budget terminates as "failed" with a typed
+// *ErrRetriesExhausted instead of bouncing forever. Per-worker circuit
+// breakers stop dispatch to a flapping worker until a half-open probe
+// proves recovery, and an optional append-only journal makes the whole
+// job table survive a coordinator crash (see journal.go).
 
 // cjob is one coordinator-tracked job.
 type cjob struct {
@@ -33,8 +40,33 @@ type cjob struct {
 	status   string // "queued", "dispatched", "done", "failed"
 	worker   string // current/last owner id
 	errMsg   string
-	cached   bool   // served from the content-addressed result cache
-	result   []byte // owning worker's terminal GET /runs/{id} bytes
+	err      error     // typed terminal error (e.g. *ErrRetriesExhausted)
+	attempts int       // failed dispatch attempts so far
+	deadline time.Time // zero: none; else submit time + DeadlineMS + grace
+	cached   bool      // served from the content-addressed result cache
+	result   []byte    // owning worker's terminal GET /runs/{id} bytes
+}
+
+// Err returns the job's typed terminal error (nil while non-terminal or
+// on success). Callers use errors.As to detect *ErrRetriesExhausted.
+func (j *cjob) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ErrRetriesExhausted is the typed terminal error of a job that consumed
+// its whole dispatch retry budget. Last carries the sanitized cause of
+// the final attempt (url.Error wrappers are stripped so the text never
+// embeds an ephemeral host:port).
+type ErrRetriesExhausted struct {
+	ID       string
+	Attempts int
+	Last     string
+}
+
+func (e *ErrRetriesExhausted) Error() string {
+	return fmt.Sprintf("cluster: job %s retries exhausted after %d attempts: %s", e.ID, e.Attempts, e.Last)
 }
 
 // JobView is the JSON shape of a job in /jobs listings. Field order is
@@ -47,6 +79,7 @@ type JobView struct {
 	Worker   string `json:"worker,omitempty"`
 	Error    string `json:"error,omitempty"`
 	Cached   bool   `json:"cached"`
+	Attempts int    `json:"attempts"`
 	Digest   string `json:"digest"`
 }
 
@@ -55,7 +88,7 @@ func (j *cjob) view() JobView {
 	defer j.mu.Unlock()
 	return JobView{
 		ID: j.id, Status: j.status, Tenant: j.tenant, Priority: j.priority.String(),
-		Worker: j.worker, Error: j.errMsg, Cached: j.cached,
+		Worker: j.worker, Error: j.errMsg, Cached: j.cached, Attempts: j.attempts,
 		Digest: fmt.Sprintf("%016x", j.digest),
 	}
 }
@@ -68,32 +101,58 @@ type CoordinatorOptions struct {
 	Quota        QuotaConfig   // default per-tenant quota
 	Dispatchers  int           // concurrent dispatch loops (default 4)
 	PollInterval time.Duration // worker run-status poll cadence (default 5ms)
-	RetryDelay   time.Duration // backoff before requeueing a bounced job (default 25ms)
-	Client       *http.Client  // control-plane client (default: 30s timeout)
-	Now          func() time.Time
+
+	// RetryDelay is the deprecated fixed backoff; when set it seeds
+	// BackoffBase. New code sets BackoffBase/BackoffCap directly.
+	RetryDelay time.Duration
+
+	MaxRetries    int           // per-job dispatch retry budget (default 64)
+	BackoffBase   time.Duration // first-retry backoff (default 10ms)
+	BackoffCap    time.Duration // backoff ceiling (default 2s)
+	Seed          uint64        // seed for deterministic backoff jitter
+	DeadlineGrace time.Duration // slack added to JobSpec.DeadlineMS (default 5s)
+	Breaker       BreakerConfig // per-worker circuit breakers
+	MaxJobs       int           // tracked-job bound; oldest terminal jobs evict (default 16384)
+
+	Journal *Journal        // crash-safety journal (nil: in-memory only)
+	Replay  []JournalRecord // records OpenJournal read, replayed at startup
+
+	Client *http.Client // control-plane client (default: 30s timeout)
+	Now    func() time.Time
 }
 
 // Coordinator shards jobs across registered wavepimd workers.
 type Coordinator struct {
-	reg     *Registry
-	adm     *Admission
-	metrics *obs.Registry
-	client  *http.Client
-	poll    time.Duration
-	retry   time.Duration
+	reg      *Registry
+	adm      *Admission
+	breakers *Breakers
+	metrics  *obs.Registry
+	client   *http.Client
+	journal  *Journal
+	now      func() time.Time
+
+	poll          time.Duration
+	backoffBase   time.Duration
+	backoffCap    time.Duration
+	maxRetries    int
+	seed          uint64
+	deadlineGrace time.Duration
+	maxJobs       int
 
 	mu       sync.Mutex
 	jobs     map[string]*cjob
 	order    []string
 	seq      int
 	byDigest map[uint64]*cjob // digest -> a done job (content-addressed result cache)
+	replay   ReplayStats
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 }
 
-// NewCoordinator builds the coordinator and starts its dispatchers.
+// NewCoordinator builds the coordinator, replays the journal (when one
+// is configured), and starts its dispatchers.
 func NewCoordinator(o CoordinatorOptions) *Coordinator {
 	if o.Dispatchers <= 0 {
 		o.Dispatchers = 4
@@ -101,31 +160,65 @@ func NewCoordinator(o CoordinatorOptions) *Coordinator {
 	if o.PollInterval <= 0 {
 		o.PollInterval = 5 * time.Millisecond
 	}
-	if o.RetryDelay <= 0 {
-		o.RetryDelay = 25 * time.Millisecond
+	if o.BackoffBase <= 0 {
+		if o.RetryDelay > 0 {
+			o.BackoffBase = o.RetryDelay
+		} else {
+			o.BackoffBase = 10 * time.Millisecond
+		}
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 2 * time.Second
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 64
+	}
+	if o.DeadlineGrace <= 0 {
+		o.DeadlineGrace = 5 * time.Second
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 16384
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: 30 * time.Second}
 	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
-		reg:      NewRegistry(o.TTL, o.Replicas, o.Now),
-		adm:      NewAdmission(o.Quota),
-		metrics:  obs.NewRegistry(),
-		client:   o.Client,
-		poll:     o.PollInterval,
-		retry:    o.RetryDelay,
-		jobs:     map[string]*cjob{},
-		byDigest: map[uint64]*cjob{},
-		ctx:      ctx,
-		cancel:   cancel,
+		reg:           NewRegistry(o.TTL, o.Replicas, o.Now),
+		adm:           NewAdmission(o.Quota),
+		breakers:      NewBreakers(o.Breaker, o.Now),
+		metrics:       obs.NewRegistry(),
+		client:        o.Client,
+		journal:       o.Journal,
+		now:           o.Now,
+		poll:          o.PollInterval,
+		backoffBase:   o.BackoffBase,
+		backoffCap:    o.BackoffCap,
+		maxRetries:    o.MaxRetries,
+		seed:          o.Seed,
+		deadlineGrace: o.DeadlineGrace,
+		maxJobs:       o.MaxJobs,
+		jobs:          map[string]*cjob{},
+		byDigest:      map[uint64]*cjob{},
+		ctx:           ctx,
+		cancel:        cancel,
 	}
 	for _, st := range []string{"done", "failed", "rejected", "cached"} {
 		c.metrics.CounterVec("wavepimctl.jobs", "status").With(st)
 	}
 	c.metrics.Counter("wavepimctl.dispatch_retries")
+	c.metrics.Counter("wavepimctl.breaker_rejections")
+	c.metrics.Counter("wavepimctl.jobs_evicted")
+	c.metrics.Histogram("wavepimctl.retry_backoff_seconds")
+	c.metrics.Gauge("wavepimctl.journal_records")
 	c.metrics.Gauge("wavepimctl.workers")
 	c.metrics.Gauge("wavepimctl.queue_depth")
+	if len(o.Replay) > 0 {
+		c.replayJournal(o.Replay)
+	}
 	for i := 0; i < o.Dispatchers; i++ {
 		c.wg.Add(1)
 		go c.dispatchLoop()
@@ -139,13 +232,51 @@ func (c *Coordinator) Registry() *Registry { return c.reg }
 // Admission exposes the quota layer for per-tenant overrides.
 func (c *Coordinator) Admission() *Admission { return c.adm }
 
+// Breakers exposes the per-worker circuit breakers.
+func (c *Coordinator) Breakers() *Breakers { return c.breakers }
+
+// Replay reports what the startup journal replay did.
+func (c *Coordinator) Replay() ReplayStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replay
+}
+
 // Close stops accepting jobs and halts the dispatchers. In-flight
 // dispatches are abandoned (their workers finish the runs; the runs stay
-// queryable on the workers).
+// queryable on the workers, and a journaled coordinator re-polls them on
+// restart). The journal itself stays open — its owner closes it.
 func (c *Coordinator) Close() {
 	c.adm.Close()
 	c.cancel()
 	c.wg.Wait()
+}
+
+// deadlineFor computes a job's coordinator-side deadline from its spec:
+// the worker enforces DeadlineMS on the run itself, and the coordinator
+// allows that long plus DeadlineGrace for queueing, transport, and
+// retries before it stops re-dispatching.
+func (c *Coordinator) deadlineFor(spec JobSpec) time.Time {
+	if spec.DeadlineMS <= 0 {
+		return time.Time{}
+	}
+	return c.now().Add(time.Duration(spec.DeadlineMS)*time.Millisecond + c.deadlineGrace)
+}
+
+// expired reports whether a job's deadline passed.
+func (c *Coordinator) expired(j *cjob) bool {
+	j.mu.Lock()
+	d := j.deadline
+	j.mu.Unlock()
+	return !d.IsZero() && c.now().After(d)
+}
+
+// journalAppend writes one journal record (no-op without a journal).
+func (c *Coordinator) journalAppend(rec JournalRecord) error {
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.Append(rec)
 }
 
 // Submit admits a spec. The returned job is terminal immediately when
@@ -183,6 +314,7 @@ func (c *Coordinator) Submit(spec JobSpec) (*cjob, bool, error) {
 	j := &cjob{
 		id: id, tenant: spec.Tenant, priority: prio,
 		digest: spec.Digest(), body: body, status: "queued",
+		deadline: c.deadlineFor(spec),
 	}
 	if done, ok := c.byDigest[j.digest]; ok {
 		// Content-identical to a completed job: serve its report without
@@ -194,12 +326,22 @@ func (c *Coordinator) Submit(spec JobSpec) (*cjob, bool, error) {
 		j.cached = true
 		c.jobs[id] = j
 		c.order = append(c.order, id)
+		c.evictLocked(id)
 		c.mu.Unlock()
 		c.metrics.CounterVec("wavepimctl.jobs", "status").With("cached").Inc()
+		// Cached jobs journal a submit + terminal pair so a restart still
+		// serves their reports.
+		c.journalAppend(JournalRecord{T: JournalSubmit, ID: id, Spec: body})
+		j.mu.Lock()
+		rec := JournalRecord{T: JournalTerminal, ID: id, Status: j.status,
+			Error: j.errMsg, Cached: true, Result: j.result}
+		j.mu.Unlock()
+		c.journalAppend(rec)
 		return j, false, nil
 	}
 	c.jobs[id] = j
 	c.order = append(c.order, id)
+	c.evictLocked(id)
 	c.mu.Unlock()
 
 	if err := c.adm.Submit(&QueuedJob{ID: id, Tenant: spec.Tenant, Priority: prio, Payload: j}); err != nil {
@@ -212,7 +354,138 @@ func (c *Coordinator) Submit(spec JobSpec) (*cjob, bool, error) {
 		c.metrics.CounterVec("wavepimctl.jobs", "status").With("rejected").Inc()
 		return nil, false, err
 	}
+	// The durability point: the 202 must not leave before the submit
+	// record is fsynced. A journal failure surfaces as a submission error
+	// (the job may still run — workers are idempotent — but the client is
+	// told to retry, and the retry under the same id is safe).
+	if err := c.journalAppend(JournalRecord{T: JournalSubmit, ID: id, Spec: body}); err != nil {
+		return nil, false, fmt.Errorf("cluster: journal submit: %w", err)
+	}
 	return j, false, nil
+}
+
+// evictLocked enforces the tracked-job bound by evicting the oldest
+// terminal jobs (and their content-cache entries). Active jobs are never
+// evicted, and neither is keep (the job just inserted). Caller holds
+// c.mu.
+func (c *Coordinator) evictLocked(keep string) {
+	for len(c.jobs) > c.maxJobs {
+		idx := -1
+		for i, id := range c.order {
+			if id == keep {
+				continue
+			}
+			j := c.jobs[id]
+			j.mu.Lock()
+			terminal := j.status == "done" || j.status == "failed"
+			j.mu.Unlock()
+			if terminal {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return // nothing evictable; tolerate the overshoot
+		}
+		id := c.order[idx]
+		j := c.jobs[id]
+		delete(c.jobs, id)
+		c.order = append(c.order[:idx], c.order[idx+1:]...)
+		if d, ok := c.byDigest[j.digest]; ok && d == j {
+			delete(c.byDigest, j.digest)
+		}
+		c.metrics.Counter("wavepimctl.jobs_evicted").Inc()
+	}
+}
+
+// replayJournal rebuilds the job table from the journal's records:
+// terminal jobs are restored verbatim (reports stay queryable), the rest
+// are re-admitted for dispatch under their idempotent ids. Runs inside
+// NewCoordinator, before any dispatcher starts.
+func (c *Coordinator) replayJournal(recs []JournalRecord) {
+	type rstate struct {
+		spec     json.RawMessage
+		worker   string
+		terminal bool
+		status   string
+		errMsg   string
+		cached   bool
+		result   []byte
+	}
+	byID := map[string]*rstate{}
+	var order []string
+	c.replay.Records = len(recs)
+	for _, rec := range recs {
+		switch rec.T {
+		case JournalSubmit:
+			if _, dup := byID[rec.ID]; dup {
+				c.replay.Dropped++
+				continue
+			}
+			byID[rec.ID] = &rstate{spec: rec.Spec}
+			order = append(order, rec.ID)
+		case JournalDispatch:
+			if st, ok := byID[rec.ID]; ok {
+				st.worker = rec.Worker
+			}
+		case JournalTerminal:
+			if st, ok := byID[rec.ID]; ok {
+				st.terminal = true
+				st.status, st.errMsg, st.cached, st.result = rec.Status, rec.Error, rec.Cached, rec.Result
+			}
+		}
+	}
+	for _, id := range order {
+		st := byID[id]
+		var spec JobSpec
+		if err := json.Unmarshal(st.spec, &spec); err != nil {
+			c.replay.Dropped++
+			continue
+		}
+		prio, err := ParsePriority(spec.Priority)
+		if err != nil {
+			c.replay.Dropped++
+			continue
+		}
+		c.bumpSeq(id)
+		j := &cjob{
+			id: id, tenant: spec.Tenant, priority: prio,
+			digest: spec.Digest(), body: st.spec,
+			deadline: c.deadlineFor(spec), worker: st.worker,
+		}
+		if st.terminal {
+			j.status, j.errMsg, j.cached, j.result = st.status, st.errMsg, st.cached, st.result
+			c.jobs[id] = j
+			c.order = append(c.order, id)
+			if j.status == "done" && j.result != nil && !j.cached {
+				if _, ok := c.byDigest[j.digest]; !ok {
+					c.byDigest[j.digest] = j
+				}
+			}
+			c.replay.Restored++
+			continue
+		}
+		// Queued or mid-flight at crash time: re-admit. The idempotent id
+		// means a run the old incarnation already started is re-polled, not
+		// re-executed.
+		j.status = "queued"
+		c.jobs[id] = j
+		c.order = append(c.order, id)
+		c.adm.Restore(&QueuedJob{ID: id, Tenant: spec.Tenant, Priority: prio, Payload: j})
+		c.replay.Requeued++
+	}
+	c.evictLocked("")
+}
+
+// bumpSeq advances the auto-id sequence past a replayed "jNNNN" id so
+// new auto-named jobs cannot collide with replayed ones.
+func (c *Coordinator) bumpSeq(id string) {
+	if !strings.HasPrefix(id, "j") {
+		return
+	}
+	if n, err := strconv.Atoi(id[1:]); err == nil && n > c.seq {
+		c.seq = n
+	}
 }
 
 // Job looks up a tracked job.
@@ -250,24 +523,79 @@ func (c *Coordinator) dispatchLoop() {
 	}
 }
 
-// pause waits out a backoff; returns false when the coordinator closed.
-func (c *Coordinator) pause() bool {
+// sleep waits out a backoff; returns false when the coordinator closed.
+func (c *Coordinator) sleep(d time.Duration) bool {
 	select {
 	case <-c.ctx.Done():
 		return false
-	case <-time.After(c.retry):
+	case <-time.After(d):
 		return true
 	}
 }
 
+// RetryBackoff is the capped-exponential backoff with deterministic
+// seeded jitter before retry attempt (1-based) of job id: the raw delay
+// doubles from base up to cap, and the jitter scales it into
+// [0.5, 1.0) of that value by a pure hash of (seed, id, attempt) — two
+// coordinators with the same seed back off identically, which is what
+// keeps seeded chaos schedules reproducible.
+func RetryBackoff(seed uint64, id string, attempt int, base, cap time.Duration) time.Duration {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	h := mix64(seed ^ RingKey(id) ^ mix64(uint64(attempt)))
+	frac := 0.5 + float64(h>>11)/(1<<53)*0.5
+	return time.Duration(float64(d) * frac)
+}
+
+// sanitizeCause strips url.Error wrappers (whose text embeds the target
+// URL, ephemeral port included) so retry causes — which end up in the
+// job table — stay deterministic across runs.
+func sanitizeCause(err error) error {
+	var ue *url.Error
+	if errors.As(err, &ue) && ue.Err != nil {
+		return ue.Err
+	}
+	return err
+}
+
 // dispatch forwards one claimed job to its ring owner and follows it to
-// a terminal state. Any transport failure rebalances and requeues.
+// a terminal state. Transport failures and backpressure consume retry
+// budget; breaker-open and no-owner stalls do not (no request was made).
 func (c *Coordinator) dispatch(qj *QueuedJob) {
 	j := qj.Payload.(*cjob)
+	if c.expired(j) {
+		c.finishJob(qj, j, "failed",
+			fmt.Errorf("cluster: job %s deadline exceeded before dispatch", j.id), nil)
+		return
+	}
 	owner, ok := c.reg.OwnerOf(j.id)
 	if !ok {
 		// No live workers; hold the job until one registers.
-		if c.pause() {
+		if c.sleep(c.backoffBase) {
+			c.adm.Requeue(qj)
+		}
+		return
+	}
+	if !c.breakers.Allow(owner.ID) {
+		// The owner's circuit is open: don't burn budget on a worker known
+		// to be failing; wait out a base backoff and try again (the ring
+		// may route elsewhere, or the breaker may half-open).
+		c.metrics.Counter("wavepimctl.breaker_rejections").Inc()
+		if c.sleep(c.backoffBase) {
 			c.adm.Requeue(qj)
 		}
 		return
@@ -280,35 +608,52 @@ func (c *Coordinator) dispatch(qj *QueuedJob) {
 
 	code, respBody, err := c.do("POST", owner.URL+"/v1/runs", body)
 	if err != nil {
+		c.breakers.Failure(owner.ID)
 		c.reg.MarkDead(owner.ID)
-		c.retryJob(qj, j)
+		c.retryJob(qj, j, err)
 		return
 	}
 	switch {
 	case code == http.StatusOK || code == http.StatusAccepted:
 		// accepted (or already known from an earlier attempt)
+		c.breakers.Success(owner.ID)
 	case code == http.StatusServiceUnavailable:
-		// Worker queue full or draining: back off and retry; the ring may
-		// route elsewhere by then.
-		if c.pause() {
-			c.retryJob(qj, j)
-		}
+		// Worker queue full, draining, or flapping: consume budget and
+		// back off; the ring may route elsewhere by then.
+		c.breakers.Failure(owner.ID)
+		c.retryJob(qj, j, fmt.Errorf("worker %s bounced job: 503", owner.ID))
 		return
 	default:
-		c.finishJob(qj, j, "failed", fmt.Sprintf("worker %s rejected job: %d %s",
+		c.finishJob(qj, j, "failed", fmt.Errorf("worker %s rejected job: %d %s",
 			owner.ID, code, strings.TrimSpace(string(respBody))), nil)
 		return
 	}
+	c.journalAppend(JournalRecord{T: JournalDispatch, ID: j.id, Worker: owner.ID})
 
 	for {
-		code, respBody, err := c.do("GET", owner.URL+"/v1/runs/"+j.id, nil)
-		if err != nil {
-			c.reg.MarkDead(owner.ID)
-			c.retryJob(qj, j)
+		if c.expired(j) {
+			c.finishJob(qj, j, "failed",
+				fmt.Errorf("cluster: job %s deadline exceeded waiting on worker %s", j.id, owner.ID), nil)
 			return
 		}
-		if code != http.StatusOK {
-			c.finishJob(qj, j, "failed", fmt.Sprintf("worker %s lost run: %d", owner.ID, code), nil)
+		code, respBody, err := c.do("GET", owner.URL+"/v1/runs/"+j.id, nil)
+		if err != nil {
+			c.breakers.Failure(owner.ID)
+			c.reg.MarkDead(owner.ID)
+			c.retryJob(qj, j, err)
+			return
+		}
+		switch {
+		case code == http.StatusOK:
+			// fall through to decode
+		case code == http.StatusNotFound:
+			// The worker restarted and lost the run: re-dispatch under the
+			// same idempotent id.
+			c.retryJob(qj, j, fmt.Errorf("worker %s lost run", owner.ID))
+			return
+		default:
+			c.finishJob(qj, j, "failed",
+				fmt.Errorf("worker %s run status: %d", owner.ID, code), nil)
 			return
 		}
 		var v struct {
@@ -316,11 +661,15 @@ func (c *Coordinator) dispatch(qj *QueuedJob) {
 			Error  string `json:"error"`
 		}
 		if err := json.Unmarshal(respBody, &v); err != nil {
-			c.finishJob(qj, j, "failed", fmt.Sprintf("worker %s run view: %v", owner.ID, err), nil)
+			c.finishJob(qj, j, "failed", fmt.Errorf("worker %s run view: %v", owner.ID, err), nil)
 			return
 		}
 		if v.Status == "done" || v.Status == "failed" {
-			c.finishJob(qj, j, v.Status, v.Error, respBody)
+			var cause error
+			if v.Error != "" {
+				cause = errors.New(v.Error)
+			}
+			c.finishJob(qj, j, v.Status, cause, respBody)
 			return
 		}
 		select {
@@ -331,21 +680,49 @@ func (c *Coordinator) dispatch(qj *QueuedJob) {
 	}
 }
 
-// retryJob requeues a job whose dispatch bounced.
-func (c *Coordinator) retryJob(qj *QueuedJob, j *cjob) {
+// retryJob charges one unit of the job's retry budget and requeues it
+// after its deterministic backoff — or terminates it with
+// *ErrRetriesExhausted once the budget is gone.
+func (c *Coordinator) retryJob(qj *QueuedJob, j *cjob, cause error) {
+	cause = sanitizeCause(cause)
 	j.mu.Lock()
+	j.attempts++
+	attempts := j.attempts
 	j.status = "queued"
 	j.mu.Unlock()
+	if attempts >= c.maxRetries {
+		c.finishJob(qj, j, "failed",
+			&ErrRetriesExhausted{ID: j.id, Attempts: attempts, Last: cause.Error()}, nil)
+		return
+	}
 	c.metrics.Counter("wavepimctl.dispatch_retries").Inc()
-	c.adm.Requeue(qj)
+	d := RetryBackoff(c.seed, j.id, attempts, c.backoffBase, c.backoffCap)
+	c.metrics.Histogram("wavepimctl.retry_backoff_seconds").Observe(d.Seconds())
+	if c.sleep(d) {
+		c.adm.Requeue(qj)
+	}
+	// Coordinator closed mid-backoff: the job stays non-terminal in
+	// memory; a journaled coordinator re-admits it on restart.
 }
 
 // finishJob records a terminal state, feeds the content-addressed result
-// cache, and releases the tenant's active slot.
-func (c *Coordinator) finishJob(qj *QueuedJob, j *cjob, status, errMsg string, result []byte) {
+// cache, journals the transition, and releases the tenant's active slot.
+func (c *Coordinator) finishJob(qj *QueuedJob, j *cjob, status string, cause error, result []byte) {
+	errMsg := ""
+	if cause != nil {
+		errMsg = cause.Error()
+	}
+	// Canonicalize the report bytes: the journal stores them as a JSON
+	// RawMessage, which compacts surrounding whitespace on re-marshal, so
+	// trimming here keeps pre-crash and post-replay reads byte-identical.
+	result = bytes.TrimSpace(result)
+	if len(result) == 0 {
+		result = nil
+	}
 	j.mu.Lock()
 	j.status = status
 	j.errMsg = errMsg
+	j.err = cause
 	j.result = result
 	j.mu.Unlock()
 	if status == "done" && result != nil {
@@ -356,14 +733,18 @@ func (c *Coordinator) finishJob(qj *QueuedJob, j *cjob, status, errMsg string, r
 		c.mu.Unlock()
 	}
 	c.metrics.CounterVec("wavepimctl.jobs", "status").With(status).Inc()
+	c.journalAppend(JournalRecord{T: JournalTerminal, ID: j.id, Status: status,
+		Error: errMsg, Result: result})
 	c.adm.Done(qj.Tenant)
 }
 
-// do runs one control-plane request and slurps the body.
+// do runs one control-plane request and slurps the body. The body rides
+// a bytes.Reader so net/http sets ContentLength and GetBody — retried
+// and redirected POSTs replay the payload without an extra copy.
 func (c *Coordinator) do(method, url string, body []byte) (int, []byte, error) {
 	var rd io.Reader
 	if body != nil {
-		rd = strings.NewReader(string(body))
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(c.ctx, method, url, rd)
 	if err != nil {

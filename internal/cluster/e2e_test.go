@@ -48,6 +48,16 @@ type clusterOptions struct {
 	now          func() time.Time // injectable clock for daemons
 	quota        cluster.QuotaConfig
 	pollInterval time.Duration
+	ttl          time.Duration // worker heartbeat TTL (0 = production default)
+
+	// chaos / robustness knobs (zero values keep the legacy behavior)
+	client     *http.Client // coordinator control-plane client (chaos transport)
+	seed       uint64
+	maxRetries int
+	backoffCap time.Duration
+	breaker    cluster.BreakerConfig
+	journal    *cluster.Journal
+	replay     []cluster.JournalRecord
 }
 
 // startCluster boots a coordinator and n named workers (w1..wn), each
@@ -64,7 +74,15 @@ func startCluster(t *testing.T, n int, o clusterOptions) *testCluster {
 		Dispatchers:  o.dispatchers,
 		Quota:        o.quota,
 		PollInterval: o.pollInterval,
+		TTL:          o.ttl,
 		RetryDelay:   10 * time.Millisecond,
+		Client:       o.client,
+		Seed:         o.seed,
+		MaxRetries:   o.maxRetries,
+		BackoffCap:   o.backoffCap,
+		Breaker:      o.breaker,
+		Journal:      o.journal,
+		Replay:       o.replay,
 	})
 	coordTS := httptest.NewServer(coord.Handler())
 	t.Cleanup(coordTS.Close)
@@ -309,7 +327,13 @@ func (tc *testCluster) totalRuns(t *testing.T) int {
 // accepted job — its keys rebalance to the survivors and every job still
 // reaches "done".
 func TestClusterWorkerDeathRebalances(t *testing.T) {
-	tc := startCluster(t, 3, clusterOptions{workers: 1, queue: 64, dispatchers: 8})
+	// Short TTL (still 5× the 100ms heartbeat) so membership eviction is
+	// observable without the 10s production default: the victim leaves
+	// either via MarkDead (a dispatcher touched its corpse) or via TTL
+	// expiry (all its jobs happened to finish before the kill landed).
+	tc := startCluster(t, 3, clusterOptions{
+		workers: 1, queue: 64, dispatchers: 8, ttl: 500 * time.Millisecond,
+	})
 
 	// Enough jobs that the victim certainly owns some, slow enough that
 	// they cannot all finish before the kill. Per-job CFL values keep the
@@ -350,10 +374,19 @@ func TestClusterWorkerDeathRebalances(t *testing.T) {
 		}
 	}
 
-	// The victim is out of the membership.
-	_, body := tc.get(t, "/workers")
-	if strings.Contains(body, `"id":"w2"`) {
-		t.Fatalf("dead worker still a member: %s", body)
+	// The victim leaves the membership — by MarkDead if a dispatcher hit
+	// its closed listener, otherwise by TTL expiry once its heartbeats
+	// stop. Either way it must be gone well within a few TTLs.
+	evictBy := time.Now().Add(5 * time.Second)
+	for {
+		_, body := tc.get(t, "/workers")
+		if !strings.Contains(body, `"id":"w2"`) {
+			break
+		}
+		if time.Now().After(evictBy) {
+			t.Fatalf("dead worker still a member: %s", body)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 
@@ -383,6 +416,12 @@ func TestClusterAggregatedMetrics(t *testing.T) {
 		`worker="w2"`,
 		`worker="w3"`,
 		"# TYPE sim_fault_rung_events_total counter",
+		// robustness families: retry backoff histogram, journal gauge, and
+		// the breaker state of the worker that took the job
+		"# TYPE wavepimctl_retry_backoff_seconds histogram",
+		"wavepimctl_journal_records 0",
+		"wavepimctl_jobs_evicted_total 0",
+		"# TYPE wavepimctl_breaker_state gauge",
 	} {
 		if !strings.Contains(m1, want) {
 			t.Fatalf("aggregated metrics missing %q:\n%s", want, m1)

@@ -26,12 +26,28 @@ type Heartbeater struct {
 	ID          string // worker id (ring node name)
 	URL         string // worker base URL the coordinator forwards jobs to
 	Interval    time.Duration
-	Client      *http.Client
+	// MaxBackoff caps the beat delay while the coordinator is unreachable
+	// (default 8×Interval). Consecutive failures double the delay from
+	// Interval up to this cap, so a partitioned worker does not hammer a
+	// struggling coordinator; the first success snaps back to Interval.
+	MaxBackoff time.Duration
+	Client     *http.Client
 
 	once     sync.Once
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+
+	mu    sync.Mutex
+	fails int // consecutive beat failures
+}
+
+// Failures reports the current consecutive-failure streak (0 while the
+// coordinator is reachable).
+func (h *Heartbeater) Failures() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fails
 }
 
 func (h *Heartbeater) client() *http.Client {
@@ -72,19 +88,39 @@ func (h *Heartbeater) Start() error {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
+	maxBackoff := h.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 8 * interval
+	}
 	h.once.Do(func() {
 		h.stop = make(chan struct{})
 		h.done = make(chan struct{})
 		go func() {
 			defer close(h.done)
-			t := time.NewTicker(interval)
+			delay := interval
+			t := time.NewTimer(delay)
 			defer t.Stop()
 			for {
 				select {
 				case <-h.stop:
 					return
 				case <-t.C:
-					h.Register() // transient failures retry next tick
+					if err := h.Register(); err != nil {
+						h.mu.Lock()
+						h.fails++
+						streak := h.fails
+						h.mu.Unlock()
+						delay = interval << uint(min(streak, 30))
+						if delay > maxBackoff || delay <= 0 {
+							delay = maxBackoff
+						}
+					} else {
+						h.mu.Lock()
+						h.fails = 0
+						h.mu.Unlock()
+						delay = interval
+					}
+					t.Reset(delay)
 				}
 			}
 		}()

@@ -157,14 +157,34 @@ func (a *Admission) Submit(j *QueuedJob) error {
 	return nil
 }
 
+// Restore re-admits a job during journal replay. It bypasses the queued
+// quota: the job was already accepted (and journaled) by the previous
+// incarnation, so a tightened quota must not silently drop it.
+func (a *Admission) Restore(j *QueuedJob) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	a.queued[j.Tenant]++
+	a.queues[j.Priority] = append(a.queues[j.Priority], j)
+	a.wakeLocked()
+}
+
 // Requeue puts a claimed job back at the FRONT of its priority class
 // (dispatch failed; the job must not lose its place) and releases the
-// tenant's active slot taken by Next.
+// tenant's active slot taken by Next. After Close the job is dropped
+// instead of re-enqueued — the dispatchers are exiting and a queue
+// nobody will drain would only pin memory (a journaled coordinator
+// re-admits the job on restart).
 func (a *Admission) Requeue(j *QueuedJob) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.active[j.Tenant] > 0 {
 		a.active[j.Tenant]--
+	}
+	if a.closed {
+		return
 	}
 	a.queued[j.Tenant]++
 	a.queues[j.Priority] = append([]*QueuedJob{j}, a.queues[j.Priority]...)

@@ -81,7 +81,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	s.mu.Lock()
 	if clientID != "" {
 		if existing, ok := s.runs[clientID]; ok {
+			same := existing.spec.Digest() == spec.Digest()
 			s.mu.Unlock()
+			if !same {
+				// The id is taken by a run with different content. Returning
+				// the existing run would silently hand the caller someone
+				// else's results; refuse instead.
+				httpError(w, http.StatusConflict, cluster.CodeConflict, false,
+					"job id %q already tracked with different content", clientID)
+				return
+			}
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(map[string]string{"id": existing.id})
 			return

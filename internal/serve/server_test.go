@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"wavepim/internal/cluster"
 	"wavepim/internal/obs/eventlog"
 )
 
@@ -392,6 +393,38 @@ func TestDaemonIdempotentSubmit(t *testing.T) {
 	}
 	if len(list) != 1 {
 		t.Fatalf("resubmits created extra runs: %v", list)
+	}
+}
+
+// TestDaemonSubmitConflict: reusing a tracked client id with DIFFERENT
+// content is refused with 409 and the conflict code — returning the
+// existing run would silently hand the caller someone else's results.
+func TestDaemonSubmitConflict(t *testing.T) {
+	_, ts := testServer(t, 1, 8)
+	code, _ := postJSON(t, ts.URL+"/runs", `{"equation":"acoustic","steps":2,"id":"clash-1"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"equation":"acoustic","steps":7,"id":"clash-1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting resubmit: %d, want 409", resp.StatusCode)
+	}
+	var e cluster.APIError
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != cluster.CodeConflict || e.Retryable {
+		t.Fatalf("conflict envelope %+v", e)
+	}
+	// An identical resubmit still dedupes to 200.
+	code, out := postJSON(t, ts.URL+"/runs", `{"equation":"acoustic","steps":2,"id":"clash-1"}`)
+	if code != http.StatusOK || out["id"] != "clash-1" {
+		t.Fatalf("identical resubmit after conflict: %d %v", code, out)
 	}
 }
 
