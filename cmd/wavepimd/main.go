@@ -31,6 +31,11 @@
 // dragonfly) to pick the tile interconnect; omitted means htree. Every
 // error response is the typed JSON envelope {code, message, retryable}.
 //
+// A submission may carry an X-Wavepim-Trace header (set by wavepimctl
+// when it dispatches a job): the worker adopts the cluster trace id, so
+// the run view, its event lines, and any flight dump all attribute back
+// to the coordinator's merged per-job trace.
+//
 // Shutdown (SIGINT/SIGTERM) is graceful: the worker deregisters from its
 // coordinator (if any), readiness flips to 503, queued and in-flight
 // runs drain, then the listener closes.

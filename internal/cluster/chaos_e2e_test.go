@@ -82,7 +82,28 @@ func runChaosSchedule(t *testing.T, sc chaosScenario) (string, chaos.Counts) {
 	if code != http.StatusOK {
 		t.Fatalf("jobs table: %d", code)
 	}
-	return table, tr.Counts()
+	return normalizeStages(t, table), tr.Counts()
+}
+
+// normalizeStages zeroes the latency decomposition in a job table before
+// byte-comparison: stage durations measure real elapsed wall time and
+// legitimately differ between two runs of the same seeded schedule,
+// while every other field (ids, statuses, attempts, digests, trace ids)
+// is deterministic.
+func normalizeStages(t *testing.T, table string) string {
+	t.Helper()
+	var views []cluster.JobView
+	if err := json.Unmarshal([]byte(table), &views); err != nil {
+		t.Fatalf("job table: %v: %s", err, table)
+	}
+	for i := range views {
+		views[i].Stages = cluster.StageSeconds{}
+	}
+	b, err := json.Marshal(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }
 
 // TestChaosSchedulesDeterministic: for each fault flavor, two fully
@@ -143,6 +164,100 @@ func TestChaosGoldenTable(t *testing.T) {
 	}
 	if err := os.WriteFile(out, []byte(table), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestChaosTraceSpans: under a seeded fault schedule that forces real
+// retries, the merged trace of a retried job carries the retry attempt
+// spans with their typed annotations, every coordinator span nests
+// inside the root job span, and no ephemeral worker host leaks into the
+// document.
+func TestChaosTraceSpans(t *testing.T) {
+	tr := chaos.New(chaos.Config{Seed: 13, ErrProb: 0.5, Only: "POST /v1/runs"})
+	tc := startCluster(t, 1, clusterOptions{
+		workers: 2, dispatchers: 4,
+		client:     tr.Client(30 * time.Second),
+		seed:       13,
+		backoffCap: 50 * time.Millisecond,
+		breaker:    cluster.BreakerConfig{Threshold: 3, Probe: 20 * time.Millisecond},
+	})
+	var ids []string
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("chaos-trace-%d", i)
+		ids = append(ids, id)
+		code, body := tc.submit(t, fmt.Sprintf(`{"equation":"acoustic","steps":%d,"id":%q}`, 2+i, id))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: %d %s", id, code, body)
+		}
+	}
+	for _, id := range ids {
+		if status, body := tc.waitJob(t, id, 60*time.Second); status != "done" {
+			t.Fatalf("job %s: %s %s", id, status, body)
+		}
+	}
+	_, table := tc.get(t, "/v1/jobs")
+	var views []cluster.JobView
+	if err := json.Unmarshal([]byte(table), &views); err != nil {
+		t.Fatal(err)
+	}
+	var retried string
+	for _, v := range views {
+		if v.Attempts > 0 {
+			retried = v.ID
+			break
+		}
+	}
+	if retried == "" {
+		t.Fatalf("schedule produced no retried job — vacuous: %s", table)
+	}
+	code, doc := tc.get(t, "/v1/jobs/"+retried+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace %s: %d %s", retried, code, doc)
+	}
+	// Retry mechanics are visible: a second dispatch attempt, its typed
+	// retry annotation, and the backoff wait between attempts.
+	for _, want := range []string{`"name": "dispatch#1"`, `"annot": "retry: `, `"name": "backoff"`} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("retried job's trace missing %q:\n%s", want, doc)
+		}
+	}
+	// Determinism hygiene: the sanitized causes must not leak the worker's
+	// ephemeral host:port into the document.
+	if strings.Contains(doc, "127.0.0.1") {
+		t.Fatalf("trace leaks a host: %s", doc)
+	}
+	// Structural nesting: every coordinator (pid 1) span sits inside the
+	// root job span's [ts, ts+dur] window. Worker events live on their own
+	// process timeline and are exempt.
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(doc), &parsed); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	rootStart, rootEnd := -1.0, -1.0
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "X" && ev.Pid == 1 && ev.Name == "job" {
+			rootStart, rootEnd = ev.Ts, ev.Ts+ev.Dur
+		}
+	}
+	if rootStart < 0 {
+		t.Fatalf("trace has no root job span: %s", doc)
+	}
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph != "X" || ev.Pid != 1 {
+			continue
+		}
+		if ev.Dur < 0 || ev.Ts < rootStart || ev.Ts+ev.Dur > rootEnd+1 { // +1µs: rounding slack
+			t.Fatalf("span %s [%f, %f] escapes the root window [%f, %f]",
+				ev.Name, ev.Ts, ev.Ts+ev.Dur, rootStart, rootEnd)
+		}
 	}
 }
 
@@ -315,8 +430,14 @@ func TestJournalCrashRestartLosesNothing(t *testing.T) {
 		}
 	}
 	reports := map[string]string{}
+	traces := map[string]string{}
 	for _, id := range fast {
 		reports[id] = waitDone(id, 30*time.Second)
+		code, doc := get("/v1/jobs/" + id + "/trace")
+		if code != http.StatusOK {
+			t.Fatalf("trace %s: %d %s", id, code, doc)
+		}
+		traces[id] = doc
 	}
 	// Slow jobs: accepted, but still queued or mid-flight at the crash.
 	slow := []string{"slow-0", "slow-1", "slow-2", "slow-3"}
@@ -355,7 +476,9 @@ func TestJournalCrashRestartLosesNothing(t *testing.T) {
 		!strings.Contains(body, `"journal":true`) || !strings.Contains(body, `"requeued"`) {
 		t.Fatalf("readyz after replay: %d %s", code, body)
 	}
-	// Finished jobs return their reports byte-identically.
+	// Finished jobs return their reports — and their merged traces, which
+	// rode the journal as compacted JSON and were re-indented on replay —
+	// byte-identically.
 	for _, id := range fast {
 		code, body := get("/v1/jobs/" + id)
 		if code != http.StatusOK {
@@ -363,6 +486,14 @@ func TestJournalCrashRestartLosesNothing(t *testing.T) {
 		}
 		if body != reports[id] {
 			t.Fatalf("restored report for %s diverges:\n%s\nvs\n%s", id, body, reports[id])
+		}
+		code, doc := get("/v1/jobs/" + id + "/trace")
+		if code != http.StatusOK {
+			t.Fatalf("restored trace %s: %d %s", id, code, doc)
+		}
+		if doc != traces[id] {
+			t.Fatalf("restored trace for %s diverges from the pre-crash bytes:\n%s\nvs\n%s",
+				id, doc, traces[id])
 		}
 	}
 	// Unfinished jobs run to completion — zero accepted jobs lost.

@@ -57,6 +57,7 @@ func TestCoordV1Surface(t *testing.T) {
 
 	for _, path := range []string{
 		"/v1/jobs", "/v1/jobs/" + id, "/v1/jobs/" + id + "/events",
+		"/v1/jobs/" + id + "/trace",
 		"/v1/workers", "/v1/metrics", "/v1/healthz", "/v1/readyz",
 	} {
 		resp, err := noFollow.Get(tc.coordTS.URL + path)

@@ -19,6 +19,9 @@ import (
 //	GET  /v1/jobs             list jobs in submission order
 //	GET  /v1/jobs/{id}        one job (finished: the worker's report, verbatim)
 //	GET  /v1/jobs/{id}/events the job's event stream, proxied from its worker
+//	GET  /v1/jobs/{id}/trace  the merged cluster-level Chrome trace (409 while
+//	                          the job is live; replayed terminal jobs serve
+//	                          their digest-verified journaled timeline)
 //	POST /v1/register         worker heartbeat (RegisterRequest JSON)
 //	POST /v1/deregister       worker draining handoff
 //	GET  /v1/workers          live membership, sorted by id
@@ -33,6 +36,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", c.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", c.handleJobTrace)
 	mux.HandleFunc("POST /v1/register", c.handleRegister)
 	mux.HandleFunc("POST /v1/deregister", c.handleDeregister)
 	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
@@ -140,6 +144,35 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, req *http.Request) {
 	json.NewEncoder(w).Encode(j.view())
 }
 
+// handleJobTrace serves the job's merged cluster-level Chrome trace —
+// the coordinator's stage timeline (process 1) plus the owning worker's
+// span trace (process 2), one document. Live jobs answer 409 (retryable:
+// the trace is merged at the terminal transition); a terminal job that
+// lost its trace (journal replay with a failed digest check, or a merge
+// error) answers 404.
+func (c *Coordinator) handleJobTrace(w http.ResponseWriter, req *http.Request) {
+	j, ok := c.Job(req.PathValue("id"))
+	if !ok {
+		coordError(w, http.StatusNotFound, CodeNotFound, false, "no such job")
+		return
+	}
+	j.mu.Lock()
+	terminal := j.status == "done" || j.status == "failed"
+	doc := j.traceDoc
+	status := j.status
+	j.mu.Unlock()
+	if !terminal {
+		coordError(w, http.StatusConflict, CodeNotReady, true, "job is %s; trace not merged yet", status)
+		return
+	}
+	if doc == nil {
+		coordError(w, http.StatusNotFound, CodeNotFound, false, "job has no trace")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
+}
+
 // handleJobEvents proxies the owning worker's SSE stream for a job.
 func (c *Coordinator) handleJobEvents(w http.ResponseWriter, req *http.Request) {
 	j, ok := c.Job(req.PathValue("id"))
@@ -222,7 +255,18 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	workers := c.reg.Workers()
 	d := c.adm.Depths()
 	c.metrics.Gauge("wavepimctl.workers").Set(float64(len(workers)))
-	c.metrics.Gauge("wavepimctl.queue_depth").Set(float64(d.Queued))
+	for p := Priority(0); p < numPriorities; p++ {
+		c.metrics.GaugeVec("wavepimctl.queue_depth", "priority").
+			With(p.String()).Set(float64(d.ByClass[p]))
+		age := 0.0
+		if !d.Oldest[p].IsZero() {
+			if a := c.now().Sub(d.Oldest[p]).Seconds(); a > 0 {
+				age = a
+			}
+		}
+		c.metrics.GaugeVec("wavepimctl.queue_age_seconds", "priority").
+			With(p.String()).Set(age)
+	}
 	if c.journal != nil {
 		c.metrics.Gauge("wavepimctl.journal_records").Set(float64(c.journal.Records()))
 	}

@@ -1,0 +1,108 @@
+package cluster_test
+
+// Coordinator observability e2e: the job-lifecycle event log
+// (job.submit / job.dispatch / job.retry / job.terminal) and the
+// automatic flight dump on retry-budget exhaustion, driven through a
+// real cluster with a seeded partition.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wavepim/internal/cluster/chaos"
+	"wavepim/internal/cluster/trace"
+	"wavepim/internal/obs/eventlog"
+)
+
+// syncBuf is a goroutine-safe bytes.Buffer: dispatch loops log
+// concurrently.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestCoordinatorEventLogAndFlightDump(t *testing.T) {
+	var logBuf, flightBuf syncBuf
+	tr := chaos.New(chaos.Config{Seed: 15, Only: "POST /v1/runs"})
+	tc := startCluster(t, 1, clusterOptions{
+		workers: 1, dispatchers: 2,
+		client:     tr.Client(30 * time.Second),
+		maxRetries: 2,
+		backoffCap: 20 * time.Millisecond,
+		log:        eventlog.New(&logBuf, eventlog.Info),
+		flightW:    &flightBuf,
+	})
+
+	// Happy path first: submit → dispatch → terminal, all logged.
+	code, body := tc.submit(t, `{"equation":"acoustic","steps":2,"id":"obs-ok-1"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	if status, b := tc.waitJob(t, "obs-ok-1", 30*time.Second); status != "done" {
+		t.Fatalf("job: %s %s", status, b)
+	}
+	for _, want := range []string{
+		`"event":"job.submit"`, `"job":"obs-ok-1"`,
+		`"event":"job.dispatch"`, `"worker":"w1"`,
+		`"event":"job.terminal"`, `"status":"done"`,
+		// lifecycle lines carry the job's trace id for correlation
+		fmt.Sprintf(`"trace":"%016x"`, trace.ID("obs-ok-1")),
+	} {
+		if !strings.Contains(logBuf.String(), want) {
+			t.Fatalf("event log missing %q:\n%s", want, logBuf.String())
+		}
+	}
+
+	// Partition the worker: the next job bleeds its 2-attempt budget dry,
+	// logging retries and snapshotting the flight recorder on exhaustion.
+	host := strings.TrimPrefix(tc.workers["w1"].ts.URL, "http://")
+	tr.Partition(host)
+	code, body = tc.submit(t, `{"equation":"acoustic","steps":3,"id":"obs-doomed-1"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	if status, b := tc.waitJob(t, "obs-doomed-1", 30*time.Second); status != "failed" {
+		t.Fatalf("partitioned job: %s %s", status, b)
+	}
+	logs := logBuf.String()
+	for _, want := range []string{
+		`"event":"job.retry"`, `"job":"obs-doomed-1"`, `"backoff_ms"`,
+		`"status":"failed"`, "retries exhausted",
+	} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("event log missing %q:\n%s", want, logs)
+		}
+	}
+	dump := flightBuf.String()
+	if !strings.Contains(dump, `"reason": "retries-exhausted"`) ||
+		!strings.Contains(dump, `"run": "obs-doomed-1"`) {
+		t.Fatalf("flight dump missing exhaustion snapshot:\n%s", dump)
+	}
+	// The dump's event window includes the doomed job's retry lines, and
+	// no ephemeral host leaks into any of it.
+	if !strings.Contains(dump, "job.retry") {
+		t.Fatalf("flight dump window lacks the retry events:\n%s", dump)
+	}
+	for name, blob := range map[string]string{"event log": logs, "flight dump": dump} {
+		if strings.Contains(blob, "127.0.0.1") {
+			t.Fatalf("%s leaks a host:\n%s", name, blob)
+		}
+	}
+}

@@ -14,7 +14,9 @@ import (
 	"sync"
 	"time"
 
+	"wavepim/internal/cluster/trace"
 	"wavepim/internal/obs"
+	"wavepim/internal/obs/eventlog"
 )
 
 // The coordinator. Submissions pass per-tenant admission control, wait
@@ -45,6 +47,10 @@ type cjob struct {
 	deadline time.Time // zero: none; else submit time + DeadlineMS + grace
 	cached   bool      // served from the content-addressed result cache
 	result   []byte    // owning worker's terminal GET /runs/{id} bytes
+
+	trace    *jobTrace    // live coordinator-side timeline (nil on replayed jobs)
+	stages   StageSeconds // latency decomposition, final at terminal
+	traceDoc []byte       // merged cluster-level Chrome trace (terminal jobs)
 }
 
 // Err returns the job's typed terminal error (nil while non-terminal or
@@ -72,24 +78,34 @@ func (e *ErrRetriesExhausted) Error() string {
 // JobView is the JSON shape of a job in /jobs listings. Field order is
 // fixed by the struct.
 type JobView struct {
-	ID       string `json:"id"`
-	Status   string `json:"status"`
-	Tenant   string `json:"tenant,omitempty"`
-	Priority string `json:"priority"`
-	Worker   string `json:"worker,omitempty"`
-	Error    string `json:"error,omitempty"`
-	Cached   bool   `json:"cached"`
-	Attempts int    `json:"attempts"`
-	Digest   string `json:"digest"`
+	ID       string       `json:"id"`
+	Status   string       `json:"status"`
+	Tenant   string       `json:"tenant,omitempty"`
+	Priority string       `json:"priority"`
+	Worker   string       `json:"worker,omitempty"`
+	Error    string       `json:"error,omitempty"`
+	Cached   bool         `json:"cached"`
+	Attempts int          `json:"attempts"`
+	Digest   string       `json:"digest"`
+	Trace    string       `json:"trace"`
+	Stages   StageSeconds `json:"stages"`
 }
 
 func (j *cjob) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	stages := j.stages
+	if j.trace != nil && j.status != "done" && j.status != "failed" {
+		// Live jobs report the decomposition accumulated so far (closed
+		// spans only; E2E stays zero until the job is terminal).
+		stages = j.trace.stageSeconds()
+	}
 	return JobView{
 		ID: j.id, Status: j.status, Tenant: j.tenant, Priority: j.priority.String(),
 		Worker: j.worker, Error: j.errMsg, Cached: j.cached, Attempts: j.attempts,
 		Digest: fmt.Sprintf("%016x", j.digest),
+		Trace:  fmt.Sprintf("%016x", trace.ID(j.id)),
+		Stages: stages,
 	}
 }
 
@@ -117,6 +133,14 @@ type CoordinatorOptions struct {
 	Journal *Journal        // crash-safety journal (nil: in-memory only)
 	Replay  []JournalRecord // records OpenJournal read, replayed at startup
 
+	// Log receives the coordinator's structured job lifecycle events
+	// (job.submit / job.dispatch / job.retry / job.terminal); nil is
+	// silent. FlightW, when set alongside Log, attaches a flight recorder
+	// to the log and writes an automatic dump there whenever a job
+	// exhausts its retry budget.
+	Log     *eventlog.Logger
+	FlightW io.Writer
+
 	Client *http.Client // control-plane client (default: 30s timeout)
 	Now    func() time.Time
 }
@@ -129,6 +153,10 @@ type Coordinator struct {
 	metrics  *obs.Registry
 	client   *http.Client
 	journal  *Journal
+	log      *eventlog.Logger
+	flight   *eventlog.FlightRecorder
+	flightW  io.Writer
+	flightMu sync.Mutex // serializes flight-dump writes
 	now      func() time.Time
 
 	poll          time.Duration
@@ -193,6 +221,8 @@ func NewCoordinator(o CoordinatorOptions) *Coordinator {
 		metrics:       obs.NewRegistry(),
 		client:        o.Client,
 		journal:       o.Journal,
+		log:           o.Log,
+		flightW:       o.FlightW,
 		now:           o.Now,
 		poll:          o.PollInterval,
 		backoffBase:   o.BackoffBase,
@@ -215,7 +245,24 @@ func NewCoordinator(o CoordinatorOptions) *Coordinator {
 	c.metrics.Histogram("wavepimctl.retry_backoff_seconds")
 	c.metrics.Gauge("wavepimctl.journal_records")
 	c.metrics.Gauge("wavepimctl.workers")
-	c.metrics.Gauge("wavepimctl.queue_depth")
+	// Pre-register the backpressure gauges and the latency-decomposition
+	// histogram children for every (priority, outcome) pair, so a scrape
+	// of a fresh coordinator already exposes the families — and two
+	// coordinators that ran different job mixes still expose identical
+	// family/child sets, keeping expositions byte-comparable.
+	for p := Priority(0); p < numPriorities; p++ {
+		c.metrics.GaugeVec("wavepimctl.queue_depth", "priority").With(p.String())
+		c.metrics.GaugeVec("wavepimctl.queue_age_seconds", "priority").With(p.String())
+		for _, outcome := range []string{"cached", "done", "failed"} {
+			for _, fam := range stageFamilies {
+				c.metrics.HistogramVec(fam, "priority", "outcome").With(p.String(), outcome)
+			}
+		}
+	}
+	if o.Log != nil && o.FlightW != nil {
+		c.flight = eventlog.NewFlightRecorder(nil, 256, 0)
+		o.Log.SetRecorder(c.flight)
+	}
 	if len(o.Replay) > 0 {
 		c.replayJournal(o.Replay)
 	}
@@ -284,6 +331,7 @@ func (c *Coordinator) journalAppend(rec JournalRecord) error {
 // completed job (same digest — served from cache without touching a
 // worker). The bool reports whether the job already existed.
 func (c *Coordinator) Submit(spec JobSpec) (*cjob, bool, error) {
+	submitAt := c.now()
 	id := spec.ID
 	if id == "" {
 		c.mu.Lock()
@@ -315,6 +363,7 @@ func (c *Coordinator) Submit(spec JobSpec) (*cjob, bool, error) {
 		id: id, tenant: spec.Tenant, priority: prio,
 		digest: spec.Digest(), body: body, status: "queued",
 		deadline: c.deadlineFor(spec),
+		trace:    newJobTrace(id, submitAt),
 	}
 	if done, ok := c.byDigest[j.digest]; ok {
 		// Content-identical to a completed job: serve its report without
@@ -329,13 +378,25 @@ func (c *Coordinator) Submit(spec JobSpec) (*cjob, bool, error) {
 		c.evictLocked(id)
 		c.mu.Unlock()
 		c.metrics.CounterVec("wavepimctl.jobs", "status").With("cached").Inc()
+		// A cached job's whole life is its admission: record it, close the
+		// timeline, and serve a coordinator-only merged trace.
+		j.mu.Lock()
+		j.trace.record(trace.StageAdmission, submitAt, c.now(), "cache-hit")
+		j.trace.finalize(c.now(), "cached")
+		j.stages = j.trace.stageSeconds()
+		j.traceDoc = j.trace.merged("", nil)
+		stages, doc := j.stages, j.traceDoc
+		rec := JournalRecord{T: JournalTerminal, ID: id, Status: j.status,
+			Error: j.errMsg, Cached: true, Result: j.result,
+			Stages: &stages, Trace: doc, TraceDigest: traceDigestHex(doc)}
+		j.mu.Unlock()
+		c.observeStages(prio.String(), "cached", stages)
+		c.log.Info("job.submit", eventlog.Str("job", id), eventlog.Str("tenant", spec.Tenant),
+			eventlog.Str("priority", prio.String()), eventlog.Str("trace", j.trace.ctx.Hex()),
+			eventlog.Bool("cached", true))
 		// Cached jobs journal a submit + terminal pair so a restart still
 		// serves their reports.
 		c.journalAppend(JournalRecord{T: JournalSubmit, ID: id, Spec: body})
-		j.mu.Lock()
-		rec := JournalRecord{T: JournalTerminal, ID: id, Status: j.status,
-			Error: j.errMsg, Cached: true, Result: j.result}
-		j.mu.Unlock()
 		c.journalAppend(rec)
 		return j, false, nil
 	}
@@ -344,7 +405,16 @@ func (c *Coordinator) Submit(spec JobSpec) (*cjob, bool, error) {
 	c.evictLocked(id)
 	c.mu.Unlock()
 
-	if err := c.adm.Submit(&QueuedJob{ID: id, Tenant: spec.Tenant, Priority: prio, Payload: j}); err != nil {
+	// The admission span and the queue wait open before the job becomes
+	// claimable — once adm.Submit returns, a dispatcher may already be
+	// closing the queue span on another goroutine.
+	j.mu.Lock()
+	j.trace.record(trace.StageAdmission, submitAt, c.now(), prio.String())
+	j.trace.openQueue(c.now(), prio.String())
+	j.mu.Unlock()
+
+	if err := c.adm.Submit(&QueuedJob{ID: id, Tenant: spec.Tenant, Priority: prio,
+		Enqueued: c.now(), Payload: j}); err != nil {
 		c.mu.Lock()
 		delete(c.jobs, id)
 		if n := len(c.order); n > 0 && c.order[n-1] == id {
@@ -361,6 +431,9 @@ func (c *Coordinator) Submit(spec JobSpec) (*cjob, bool, error) {
 	if err := c.journalAppend(JournalRecord{T: JournalSubmit, ID: id, Spec: body}); err != nil {
 		return nil, false, fmt.Errorf("cluster: journal submit: %w", err)
 	}
+	c.log.Info("job.submit", eventlog.Str("job", id), eventlog.Str("tenant", spec.Tenant),
+		eventlog.Str("priority", prio.String()), eventlog.Str("trace", j.trace.ctx.Hex()),
+		eventlog.Bool("cached", false))
 	return j, false, nil
 }
 
@@ -411,6 +484,9 @@ func (c *Coordinator) replayJournal(recs []JournalRecord) {
 		errMsg   string
 		cached   bool
 		result   []byte
+		stages   *StageSeconds
+		trace    json.RawMessage
+		traceDig string
 	}
 	byID := map[string]*rstate{}
 	var order []string
@@ -432,6 +508,7 @@ func (c *Coordinator) replayJournal(recs []JournalRecord) {
 			if st, ok := byID[rec.ID]; ok {
 				st.terminal = true
 				st.status, st.errMsg, st.cached, st.result = rec.Status, rec.Error, rec.Cached, rec.Result
+				st.stages, st.trace, st.traceDig = rec.Stages, rec.Trace, rec.TraceDigest
 			}
 		}
 	}
@@ -455,6 +532,14 @@ func (c *Coordinator) replayJournal(recs []JournalRecord) {
 		}
 		if st.terminal {
 			j.status, j.errMsg, j.cached, j.result = st.status, st.errMsg, st.cached, st.result
+			if st.stages != nil {
+				j.stages = *st.stages
+			}
+			// The journal stores the merged trace compacted (RawMessage
+			// round-trips through json.Marshal compact it); re-indenting
+			// reproduces the served bytes, and the recorded digest proves
+			// it before the trace becomes queryable again.
+			j.traceDoc = restoreTraceDoc(st.trace, st.traceDig)
 			c.jobs[id] = j
 			c.order = append(c.order, id)
 			if j.status == "done" && j.result != nil && !j.cached {
@@ -467,11 +552,17 @@ func (c *Coordinator) replayJournal(recs []JournalRecord) {
 		}
 		// Queued or mid-flight at crash time: re-admit. The idempotent id
 		// means a run the old incarnation already started is re-polled, not
-		// re-executed.
+		// re-executed. The new incarnation starts a fresh timeline — the
+		// pre-crash spans died with the process; only terminal jobs replay
+		// their recorded traces.
 		j.status = "queued"
+		j.trace = newJobTrace(id, c.now())
+		j.trace.record(trace.StageAdmission, c.now(), c.now(), "replay")
+		j.trace.openQueue(c.now(), prio.String())
 		c.jobs[id] = j
 		c.order = append(c.order, id)
-		c.adm.Restore(&QueuedJob{ID: id, Tenant: spec.Tenant, Priority: prio, Payload: j})
+		c.adm.Restore(&QueuedJob{ID: id, Tenant: spec.Tenant, Priority: prio,
+			Enqueued: c.now(), Payload: j})
 		c.replay.Requeued++
 	}
 	c.evictLocked("")
@@ -577,17 +668,19 @@ func sanitizeCause(err error) error {
 // budget; breaker-open and no-owner stalls do not (no request was made).
 func (c *Coordinator) dispatch(qj *QueuedJob) {
 	j := qj.Payload.(*cjob)
+	j.mu.Lock()
+	j.trace.closeQueue(c.now())
+	j.mu.Unlock()
 	if c.expired(j) {
 		c.finishJob(qj, j, "failed",
-			fmt.Errorf("cluster: job %s deadline exceeded before dispatch", j.id), nil)
+			fmt.Errorf("cluster: job %s deadline exceeded before dispatch", j.id), nil, "", nil)
 		return
 	}
 	owner, ok := c.reg.OwnerOf(j.id)
 	if !ok {
-		// No live workers; hold the job until one registers.
-		if c.sleep(c.backoffBase) {
-			c.adm.Requeue(qj)
-		}
+		// No live workers; hold the job until one registers. The stall
+		// costs no retry budget — no request was made.
+		c.stall(qj, j, "no-owner")
 		return
 	}
 	if !c.breakers.Allow(owner.ID) {
@@ -595,21 +688,23 @@ func (c *Coordinator) dispatch(qj *QueuedJob) {
 		// to be failing; wait out a base backoff and try again (the ring
 		// may route elsewhere, or the breaker may half-open).
 		c.metrics.Counter("wavepimctl.breaker_rejections").Inc()
-		if c.sleep(c.backoffBase) {
-			c.adm.Requeue(qj)
-		}
+		c.stall(qj, j, "breaker-open:"+owner.ID)
 		return
 	}
 	j.mu.Lock()
 	j.status = "dispatched"
 	j.worker = owner.ID
 	body := j.body
+	hdr := j.trace.ctx.String()
+	attempt := j.attempts
 	j.mu.Unlock()
 
-	code, respBody, err := c.do("POST", owner.URL+"/v1/runs", body)
+	postAt := c.now()
+	code, respBody, err := c.do("POST", owner.URL+"/v1/runs", body, trace.Header, hdr)
 	if err != nil {
 		c.breakers.Failure(owner.ID)
 		c.reg.MarkDead(owner.ID)
+		c.attemptSpan(j, postAt, "retry: "+sanitizeCause(err).Error())
 		c.retryJob(qj, j, err)
 		return
 	}
@@ -617,29 +712,39 @@ func (c *Coordinator) dispatch(qj *QueuedJob) {
 	case code == http.StatusOK || code == http.StatusAccepted:
 		// accepted (or already known from an earlier attempt)
 		c.breakers.Success(owner.ID)
+		c.attemptSpan(j, postAt, "accepted:"+owner.ID)
+		j.mu.Lock()
+		j.trace.openExec(c.now(), "worker:"+owner.ID)
+		j.mu.Unlock()
 	case code == http.StatusServiceUnavailable:
 		// Worker queue full, draining, or flapping: consume budget and
 		// back off; the ring may route elsewhere by then.
 		c.breakers.Failure(owner.ID)
-		c.retryJob(qj, j, fmt.Errorf("worker %s bounced job: 503", owner.ID))
+		cause := fmt.Errorf("worker %s bounced job: 503", owner.ID)
+		c.attemptSpan(j, postAt, "retry: "+cause.Error())
+		c.retryJob(qj, j, cause)
 		return
 	default:
+		c.attemptSpan(j, postAt, fmt.Sprintf("rejected: %d", code))
 		c.finishJob(qj, j, "failed", fmt.Errorf("worker %s rejected job: %d %s",
-			owner.ID, code, strings.TrimSpace(string(respBody))), nil)
+			owner.ID, code, strings.TrimSpace(string(respBody))), nil, "", nil)
 		return
 	}
 	c.journalAppend(JournalRecord{T: JournalDispatch, ID: j.id, Worker: owner.ID})
+	c.log.Info("job.dispatch", eventlog.Str("job", j.id), eventlog.Str("worker", owner.ID),
+		eventlog.Int("attempt", attempt))
 
 	for {
 		if c.expired(j) {
 			c.finishJob(qj, j, "failed",
-				fmt.Errorf("cluster: job %s deadline exceeded waiting on worker %s", j.id, owner.ID), nil)
+				fmt.Errorf("cluster: job %s deadline exceeded waiting on worker %s", j.id, owner.ID), nil, "", nil)
 			return
 		}
 		code, respBody, err := c.do("GET", owner.URL+"/v1/runs/"+j.id, nil)
 		if err != nil {
 			c.breakers.Failure(owner.ID)
 			c.reg.MarkDead(owner.ID)
+			c.closeExec(j, "retry: "+sanitizeCause(err).Error())
 			c.retryJob(qj, j, err)
 			return
 		}
@@ -649,11 +754,12 @@ func (c *Coordinator) dispatch(qj *QueuedJob) {
 		case code == http.StatusNotFound:
 			// The worker restarted and lost the run: re-dispatch under the
 			// same idempotent id.
+			c.closeExec(j, "retry: worker lost run")
 			c.retryJob(qj, j, fmt.Errorf("worker %s lost run", owner.ID))
 			return
 		default:
 			c.finishJob(qj, j, "failed",
-				fmt.Errorf("worker %s run status: %d", owner.ID, code), nil)
+				fmt.Errorf("worker %s run status: %d", owner.ID, code), nil, "", nil)
 			return
 		}
 		var v struct {
@@ -661,7 +767,7 @@ func (c *Coordinator) dispatch(qj *QueuedJob) {
 			Error  string `json:"error"`
 		}
 		if err := json.Unmarshal(respBody, &v); err != nil {
-			c.finishJob(qj, j, "failed", fmt.Errorf("worker %s run view: %v", owner.ID, err), nil)
+			c.finishJob(qj, j, "failed", fmt.Errorf("worker %s run view: %v", owner.ID, err), nil, "", nil)
 			return
 		}
 		if v.Status == "done" || v.Status == "failed" {
@@ -669,7 +775,9 @@ func (c *Coordinator) dispatch(qj *QueuedJob) {
 			if v.Error != "" {
 				cause = errors.New(v.Error)
 			}
-			c.finishJob(qj, j, v.Status, cause, respBody)
+			c.closeExec(j, "")
+			workerTrace := c.fetchWorkerTrace(j, owner)
+			c.finishJob(qj, j, v.Status, cause, respBody, owner.ID, workerTrace)
 			return
 		}
 		select {
@@ -678,6 +786,58 @@ func (c *Coordinator) dispatch(qj *QueuedJob) {
 		case <-time.After(c.poll):
 		}
 	}
+}
+
+// stall records a budget-free hold (no owner / breaker open) and puts
+// the job back in its queue.
+func (c *Coordinator) stall(qj *QueuedJob, j *cjob, annot string) {
+	start := c.now()
+	ok := c.sleep(c.backoffBase)
+	j.mu.Lock()
+	j.trace.record(trace.StageStall, start, c.now(), annot)
+	if ok {
+		j.trace.openQueue(c.now(), j.priority.String())
+	}
+	j.mu.Unlock()
+	if ok {
+		c.adm.Requeue(qj)
+	}
+}
+
+// attemptSpan records one POST /v1/runs attempt on the job's timeline.
+func (c *Coordinator) attemptSpan(j *cjob, start time.Time, annot string) {
+	j.mu.Lock()
+	j.trace.record(trace.StageDispatch, start, c.now(), annot)
+	j.mu.Unlock()
+}
+
+// closeExec ends the job's open execution span (annot overrides the
+// worker annotation when the execution ended in a retry, not a result).
+func (c *Coordinator) closeExec(j *cjob, annot string) {
+	j.mu.Lock()
+	j.trace.closeExec(c.now(), annot)
+	j.mu.Unlock()
+}
+
+// fetchWorkerTrace pulls the owning worker's Chrome trace for a run that
+// just went terminal (the worker publishes it in the same critical
+// section that flips the run status, so it is ready by now). The fetch
+// itself is a "report" span; an unreachable worker or malformed document
+// degrades to a coordinator-only merged trace rather than an error.
+func (c *Coordinator) fetchWorkerTrace(j *cjob, owner Worker) []byte {
+	start := c.now()
+	code, body, err := c.do("GET", owner.URL+"/v1/runs/"+j.id+"/trace", nil)
+	annot := "worker:" + owner.ID
+	var workerTrace []byte
+	if err == nil && code == http.StatusOK && trace.Valid(body) {
+		workerTrace = body
+	} else {
+		annot += " (trace unavailable)"
+	}
+	j.mu.Lock()
+	j.trace.record(trace.StageReport, start, c.now(), annot)
+	j.mu.Unlock()
+	return workerTrace
 }
 
 // retryJob charges one unit of the job's retry budget and requeues it
@@ -692,22 +852,36 @@ func (c *Coordinator) retryJob(qj *QueuedJob, j *cjob, cause error) {
 	j.mu.Unlock()
 	if attempts >= c.maxRetries {
 		c.finishJob(qj, j, "failed",
-			&ErrRetriesExhausted{ID: j.id, Attempts: attempts, Last: cause.Error()}, nil)
+			&ErrRetriesExhausted{ID: j.id, Attempts: attempts, Last: cause.Error()}, nil, "", nil)
 		return
 	}
 	c.metrics.Counter("wavepimctl.dispatch_retries").Inc()
 	d := RetryBackoff(c.seed, j.id, attempts, c.backoffBase, c.backoffCap)
 	c.metrics.Histogram("wavepimctl.retry_backoff_seconds").Observe(d.Seconds())
-	if c.sleep(d) {
+	c.log.Warn("job.retry", eventlog.Str("job", j.id), eventlog.Int("attempt", attempts),
+		eventlog.Str("cause", cause.Error()), eventlog.Int64("backoff_ms", d.Milliseconds()))
+	start := c.now()
+	ok := c.sleep(d)
+	j.mu.Lock()
+	j.trace.record(trace.StageBackoff, start, c.now(), fmt.Sprintf("attempt %d", attempts))
+	if ok {
+		j.trace.openQueue(c.now(), j.priority.String())
+	}
+	j.mu.Unlock()
+	if ok {
 		c.adm.Requeue(qj)
 	}
 	// Coordinator closed mid-backoff: the job stays non-terminal in
 	// memory; a journaled coordinator re-admits it on restart.
 }
 
-// finishJob records a terminal state, feeds the content-addressed result
-// cache, journals the transition, and releases the tenant's active slot.
-func (c *Coordinator) finishJob(qj *QueuedJob, j *cjob, status string, cause error, result []byte) {
+// finishJob records a terminal state, closes and merges the job's
+// timeline, feeds the content-addressed result cache and the latency
+// histograms, journals the transition (trace included), and releases the
+// tenant's active slot. workerID/workerTrace are set only on the
+// dispatched-terminal path; every other terminal gets a
+// coordinator-only merged trace.
+func (c *Coordinator) finishJob(qj *QueuedJob, j *cjob, status string, cause error, result []byte, workerID string, workerTrace []byte) {
 	errMsg := ""
 	if cause != nil {
 		errMsg = cause.Error()
@@ -724,6 +898,15 @@ func (c *Coordinator) finishJob(qj *QueuedJob, j *cjob, status string, cause err
 	j.errMsg = errMsg
 	j.err = cause
 	j.result = result
+	var stages StageSeconds
+	var doc []byte
+	if j.trace != nil {
+		j.trace.finalize(c.now(), status)
+		j.stages = j.trace.stageSeconds()
+		j.traceDoc = j.trace.merged(workerID, workerTrace)
+		stages, doc = j.stages, j.traceDoc
+	}
+	prio := j.priority.String()
 	j.mu.Unlock()
 	if status == "done" && result != nil {
 		c.mu.Lock()
@@ -733,15 +916,34 @@ func (c *Coordinator) finishJob(qj *QueuedJob, j *cjob, status string, cause err
 		c.mu.Unlock()
 	}
 	c.metrics.CounterVec("wavepimctl.jobs", "status").With(status).Inc()
+	c.observeStages(prio, status, stages)
 	c.journalAppend(JournalRecord{T: JournalTerminal, ID: j.id, Status: status,
-		Error: errMsg, Result: result})
+		Error: errMsg, Result: result,
+		Stages: &stages, Trace: doc, TraceDigest: traceDigestHex(doc)})
+	lv := eventlog.Info
+	if status == "failed" {
+		lv = eventlog.Error
+	}
+	c.log.Log(lv, "job.terminal", eventlog.Str("job", j.id), eventlog.Str("status", status),
+		eventlog.Str("error", errMsg))
+	var exhausted *ErrRetriesExhausted
+	if errors.As(cause, &exhausted) && c.flight != nil && c.flightW != nil {
+		// A job that burned its whole retry budget is the cluster-level
+		// unrecoverable failure: snapshot the coordinator's recent events
+		// the way a worker snapshots an unhealable run.
+		c.flightMu.Lock()
+		c.flight.Dump("retries-exhausted", j.id).WriteJSON(c.flightW)
+		c.flightMu.Unlock()
+	}
 	c.adm.Done(qj.Tenant)
 }
 
 // do runs one control-plane request and slurps the body. The body rides
 // a bytes.Reader so net/http sets ContentLength and GetBody — retried
-// and redirected POSTs replay the payload without an extra copy.
-func (c *Coordinator) do(method, url string, body []byte) (int, []byte, error) {
+// and redirected POSTs replay the payload without an extra copy. hdr is
+// optional key/value pairs of extra headers (the trace context rides
+// here).
+func (c *Coordinator) do(method, url string, body []byte, hdr ...string) (int, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -752,6 +954,9 @@ func (c *Coordinator) do(method, url string, body []byte) (int, []byte, error) {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {

@@ -46,6 +46,7 @@ type clusterOptions struct {
 	queue        int              // daemon queue capacity
 	dispatchers  int              // coordinator dispatch loops
 	now          func() time.Time // injectable clock for daemons
+	coordNow     func() time.Time // injectable clock for the coordinator
 	quota        cluster.QuotaConfig
 	pollInterval time.Duration
 	ttl          time.Duration // worker heartbeat TTL (0 = production default)
@@ -58,6 +59,10 @@ type clusterOptions struct {
 	breaker    cluster.BreakerConfig
 	journal    *cluster.Journal
 	replay     []cluster.JournalRecord
+
+	// observability taps (nil keeps the silent path)
+	log     *eventlog.Logger
+	flightW io.Writer
 }
 
 // startCluster boots a coordinator and n named workers (w1..wn), each
@@ -71,6 +76,7 @@ func startCluster(t *testing.T, n int, o clusterOptions) *testCluster {
 		o.queue = 64
 	}
 	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		Now:          o.coordNow,
 		Dispatchers:  o.dispatchers,
 		Quota:        o.quota,
 		PollInterval: o.pollInterval,
@@ -83,6 +89,8 @@ func startCluster(t *testing.T, n int, o clusterOptions) *testCluster {
 		Breaker:      o.breaker,
 		Journal:      o.journal,
 		Replay:       o.replay,
+		Log:          o.log,
+		FlightW:      o.flightW,
 	})
 	coordTS := httptest.NewServer(coord.Handler())
 	t.Cleanup(coordTS.Close)
@@ -422,6 +430,17 @@ func TestClusterAggregatedMetrics(t *testing.T) {
 		"wavepimctl_journal_records 0",
 		"wavepimctl_jobs_evicted_total 0",
 		"# TYPE wavepimctl_breaker_state gauge",
+		// the latency decomposition: four stage histograms labeled
+		// (priority, outcome), pre-registered so a quiet scrape already
+		// exposes every child in sorted order, plus the per-class queue
+		// gauges
+		"# TYPE wavepimctl_job_queue_seconds histogram",
+		"# TYPE wavepimctl_dispatch_seconds histogram",
+		"# TYPE wavepimctl_exec_seconds histogram",
+		"# TYPE wavepimctl_e2e_seconds histogram",
+		`wavepimctl_e2e_seconds_count{outcome="done",priority="normal"} 1`,
+		`wavepimctl_queue_depth{priority="high"} 0`,
+		`# TYPE wavepimctl_queue_age_seconds gauge`,
 	} {
 		if !strings.Contains(m1, want) {
 			t.Fatalf("aggregated metrics missing %q:\n%s", want, m1)
@@ -503,6 +522,75 @@ func TestClusterGoldenSSEStream(t *testing.T) {
 	// The frozen clock really governs the stream's timestamps.
 	if !strings.Contains(a, "2026-01-02T03:04:05") {
 		t.Fatalf("stream timestamps ignore the injected clock:\n%s", a)
+	}
+}
+
+// goldenTrace boots a fresh single-worker cluster with BOTH clocks
+// frozen — the coordinator's span timeline and the worker's tracer read
+// the same fixed instant — runs the fixed spec, and returns the merged
+// cluster-level Chrome trace plus the terminal job table.
+func goldenTrace(t *testing.T) (doc, table string) {
+	t.Helper()
+	tc := startCluster(t, 1, clusterOptions{
+		workers: 1, dispatchers: 2, now: fixedClock(), coordNow: fixedClock(),
+	})
+	code, body := tc.submit(t, `{"equation":"acoustic","steps":4,"id":"golden-trace-1"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	if status, b := tc.waitJob(t, "golden-trace-1", 30*time.Second); status != "done" {
+		t.Fatalf("golden job: %s %s", status, b)
+	}
+	code, doc = tc.get(t, "/v1/jobs/golden-trace-1/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace: %d %s", code, doc)
+	}
+	_, table = tc.get(t, "/v1/jobs")
+	return doc, table
+}
+
+// TestClusterGoldenMergedTrace: two completely independent fixed-clock
+// cluster stacks — fresh coordinator, fresh worker, fresh everything —
+// serve byte-identical merged traces for the same job. This pins the
+// whole tracing pipeline: hash-derived span ids, the coordinator's span
+// timeline, header propagation, the worker's own trace, and the merge's
+// canonical encoding.
+func TestClusterGoldenMergedTrace(t *testing.T) {
+	a, view := goldenTrace(t)
+	b, _ := goldenTrace(t)
+	if a != b {
+		t.Fatalf("golden merged traces diverge:\n%s\nvs\n%s", a, b)
+	}
+	// One document, both processes, every coordinator stage.
+	for _, want := range []string{
+		`"name": "wavepimctl"`,
+		`"name": "wavepimd:w1"`,
+		`"name": "job"`,
+		`"name": "admission"`,
+		`"name": "queue"`,
+		`"name": "dispatch"`,
+		`"name": "exec"`,
+		`"name": "report"`,
+		`"annot": "done"`,
+		`"annot": "worker:w1"`,
+	} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("merged trace missing %q:\n%s", want, a)
+		}
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(a), &doc); err != nil {
+		t.Fatalf("merged trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 8 {
+		t.Fatalf("merged trace has only %d events", len(doc.TraceEvents))
+	}
+	// The terminal job view exposes the same decomposition the trace
+	// records (zero-duration under the frozen clock, but present).
+	if !strings.Contains(view, `"stages"`) || !strings.Contains(view, `"e2e_sec"`) {
+		t.Fatalf("job view lacks latency decomposition: %s", view)
 	}
 }
 

@@ -44,6 +44,14 @@ type JournalRecord struct {
 	Error  string          `json:"error,omitempty"`  // terminal: failure message
 	Cached bool            `json:"cached,omitempty"` // terminal: served from the result cache
 	Result json.RawMessage `json:"result,omitempty"` // terminal: the worker's report bytes
+
+	// Distributed-tracing payload of a terminal record: the job's latency
+	// decomposition, the merged cluster-level Chrome trace (compacted by
+	// the record marshal; re-indented on replay), and the digest of the
+	// served bytes that proves the re-indent (see restoreTraceDoc).
+	Stages      *StageSeconds   `json:"stages,omitempty"`
+	Trace       json.RawMessage `json:"trace,omitempty"`
+	TraceDigest string          `json:"trace_digest,omitempty"`
 }
 
 // Journal is the append-only JSONL file with group-commit durability.

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"wavepim/internal/cluster"
 )
 
 // loadResult is the guard's JSON output. Field order is fixed by the
@@ -29,6 +31,36 @@ type loadResult struct {
 	Throughput float64 `json:"throughput_jobs_per_sec"`
 	P50Ms      float64 `json:"p50_ms"`
 	P99Ms      float64 `json:"p99_ms"`
+
+	// Decomp breaks the end-to-end latency into the coordinator's traced
+	// stages, aggregated over every completed job's JobView.Stages — the
+	// same decomposition /v1/metrics exports as histograms.
+	Decomp struct {
+		Queue    stageStats `json:"queue"`
+		Dispatch stageStats `json:"dispatch"`
+		Exec     stageStats `json:"exec"`
+		E2E      stageStats `json:"e2e"`
+	} `json:"latency_decomposition"`
+}
+
+type stageStats struct {
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// stageDist summarizes one stage's per-job milliseconds.
+func stageDist(vals []float64) stageStats {
+	if len(vals) == 0 {
+		return stageStats{}
+	}
+	sort.Float64s(vals)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	pct := func(p float64) float64 { return vals[int(p*float64(len(vals)-1))] }
+	return stageStats{MeanMs: sum / float64(len(vals)), P50Ms: pct(0.50), P99Ms: pct(0.99)}
 }
 
 func TestClusterLoadGuard(t *testing.T) {
@@ -155,8 +187,35 @@ func TestClusterLoadGuard(t *testing.T) {
 		P50Ms:      pct(0.50),
 		P99Ms:      pct(0.99),
 	}
+
+	// The coordinator's own stage decomposition for the same jobs.
+	_, table := tc.get(t, "/v1/jobs")
+	var views []cluster.JobView
+	if err := json.Unmarshal([]byte(table), &views); err != nil {
+		t.Fatalf("job table: %v", err)
+	}
+	var qMs, dMs, eMs, e2eMs []float64
+	for _, v := range views {
+		if v.Status != "done" {
+			continue
+		}
+		qMs = append(qMs, v.Stages.QueueSec*1e3)
+		dMs = append(dMs, v.Stages.DispatchSec*1e3)
+		eMs = append(eMs, v.Stages.ExecSec*1e3)
+		e2eMs = append(e2eMs, v.Stages.E2ESec*1e3)
+	}
+	if len(e2eMs) != jobs {
+		t.Fatalf("job table has %d done jobs with stages, want %d", len(e2eMs), jobs)
+	}
+	res.Decomp.Queue = stageDist(qMs)
+	res.Decomp.Dispatch = stageDist(dMs)
+	res.Decomp.Exec = stageDist(eMs)
+	res.Decomp.E2E = stageDist(e2eMs)
+
 	t.Logf("cluster load: %d jobs, %d workers, %.2fs wall, %.1f jobs/s, p50 %.1fms, p99 %.1fms",
 		res.Jobs, res.Workers, res.WallSec, res.Throughput, res.P50Ms, res.P99Ms)
+	t.Logf("stage p50 ms: queue %.1f, dispatch %.1f, exec %.1f, e2e %.1f",
+		res.Decomp.Queue.P50Ms, res.Decomp.Dispatch.P50Ms, res.Decomp.Exec.P50Ms, res.Decomp.E2E.P50Ms)
 
 	if out := os.Getenv("CLUSTER_LOAD_OUT"); out != "" {
 		b, err := json.MarshalIndent(res, "", "  ")

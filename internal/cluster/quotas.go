@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Priority orders job classes; lower values drain first.
@@ -73,18 +74,24 @@ func (e *ErrQuota) Error() string {
 }
 
 // QueuedJob is the admission queue's view of a job: identity, tenant,
-// class, and an opaque payload the dispatcher forwards.
+// class, enqueue instant (stamped by the coordinator; preserved across
+// Requeue so queue age measures the oldest wait, not the latest), and an
+// opaque payload the dispatcher forwards.
 type QueuedJob struct {
 	ID       string
 	Tenant   string
 	Priority Priority
+	Enqueued time.Time
 	Payload  any
 }
 
-// Depths is a snapshot of the admission queues.
+// Depths is a snapshot of the admission queues. Oldest holds the enqueue
+// instant of the front job per class (zero when the class is empty or
+// jobs carry no stamp) — the age feed for the queue-age gauge.
 type Depths struct {
 	Queued  int
 	ByClass [int(numPriorities)]int
+	Oldest  [int(numPriorities)]time.Time
 	Active  int
 }
 
@@ -252,6 +259,9 @@ func (a *Admission) Depths() Depths {
 	for p := range a.queues {
 		d.ByClass[p] = len(a.queues[p])
 		d.Queued += len(a.queues[p])
+		if len(a.queues[p]) > 0 {
+			d.Oldest[p] = a.queues[p][0].Enqueued
+		}
 	}
 	for _, n := range a.active {
 		d.Active += n

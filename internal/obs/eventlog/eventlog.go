@@ -339,6 +339,7 @@ func (r *FlightRecorder) record(line []byte) {
 type FlightDump struct {
 	Reason        string            `json:"reason"`
 	Run           string            `json:"run,omitempty"`
+	Trace         string            `json:"trace,omitempty"` // cluster trace id (hex), when the run carried one
 	DroppedEvents int64             `json:"dropped_events"`
 	Events        []json.RawMessage `json:"events"`
 	Spans         []obs.Span        `json:"spans"`

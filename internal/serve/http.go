@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 
 	"wavepim/internal/cluster"
+	"wavepim/internal/cluster/trace"
 	"wavepim/internal/obs/eventlog"
 	"wavepim/internal/pim/chip"
 )
@@ -67,6 +68,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	if spec.Steps <= 0 {
 		spec.Steps = 4
 	}
+	// A coordinator-dispatched job carries its trace context; the worker
+	// adopts the trace id so run views, event lines, and flight dumps all
+	// attribute back to the cluster-level timeline. A malformed header is
+	// ignored (standalone clients never send one).
+	traceID := ""
+	if v := req.Header.Get(trace.Header); v != "" {
+		if tcx, err := trace.Parse(v); err == nil {
+			traceID = tcx.Hex()
+		}
+	}
 	clientID := ""
 	if spec.ID != "" {
 		id, err := cluster.NormalizeJobID(spec.ID)
@@ -106,7 +117,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		s.seq++
 		id = fmt.Sprintf("r%04d", s.seq)
 	}
-	r := &run{id: id, spec: spec, status: "queued", tap: eventlog.NewTap()}
+	r := &run{id: id, spec: spec, status: "queued", trace: traceID, tap: eventlog.NewTap()}
 	select {
 	case s.jobs <- r:
 		s.runs[r.id] = r

@@ -53,6 +53,7 @@ type run struct {
 	status string // "queued", "running", "done", "failed"
 	errMsg string
 	reason string // flight-dump reason on failure ("" otherwise)
+	trace  string // cluster trace id (hex) from X-Wavepim-Trace, "" standalone
 
 	tap     *eventlog.Tap
 	sink    *obs.Sink // per-run tracer over the shared registry
@@ -68,6 +69,7 @@ type RunView struct {
 	Status   string       `json:"status"`
 	Equation string       `json:"equation"`
 	Steps    int          `json:"steps"`
+	Trace    string       `json:"trace,omitempty"`
 	Error    string       `json:"error,omitempty"`
 	Reason   string       `json:"reason,omitempty"`
 	HasDump  bool         `json:"has_flight_dump"`
@@ -81,7 +83,7 @@ func (r *run) view() RunView {
 	eq, _ := EquationOf(r.spec.Equation)
 	return RunView{
 		ID: r.id, Status: r.status, Equation: eq.String(), Steps: r.spec.Steps,
-		Error: r.errMsg, Reason: r.reason, HasDump: r.dump != nil,
+		Trace: r.trace, Error: r.errMsg, Reason: r.reason, HasDump: r.dump != nil,
 		WallSec: r.wallSec, Report: r.report,
 	}
 }
@@ -214,6 +216,7 @@ func (s *Server) execute(r *run) {
 	spec := r.spec
 	id := r.id
 	tap := r.tap
+	traceID := r.trace
 	r.mu.Unlock()
 
 	started := s.now()
@@ -226,8 +229,14 @@ func (s *Server) execute(r *run) {
 	core.SetClock(s.now)
 	fr := eventlog.NewFlightRecorder(sink.Trace, s.flightEvents, s.flightSpans)
 	core.SetRecorder(fr)
+	runLog := core.WithRun(id)
+	if traceID != "" {
+		// Cluster-dispatched run: every event line carries the propagated
+		// trace id, so a grep across the fleet's logs reconstructs a job.
+		runLog = runLog.With(eventlog.Str("trace", traceID))
+	}
 
-	sess, q, err := s.buildSession(spec, id, sink, core.WithRun(id), fr)
+	sess, q, err := s.buildSession(spec, id, traceID, sink, runLog, fr)
 	if err != nil {
 		s.finish(r, sink, nil, s.now().Sub(started).Seconds(), err)
 		return
@@ -287,7 +296,7 @@ type sessionState struct {
 
 // buildSession constructs the session for a spec. The dt comes from the
 // reference solver's CFL bound, like the functional CLIs.
-func (s *Server) buildSession(spec JobSpec, id string, sink *obs.Sink, log *eventlog.Logger, fr *eventlog.FlightRecorder) (*wavepim.Session, sessionState, error) {
+func (s *Server) buildSession(spec JobSpec, id, traceID string, sink *obs.Sink, log *eventlog.Logger, fr *eventlog.FlightRecorder) (*wavepim.Session, sessionState, error) {
 	var st sessionState
 	eq, ok := EquationOf(spec.Equation)
 	if !ok {
@@ -332,6 +341,7 @@ func (s *Server) buildSession(spec JobSpec, id string, sink *obs.Sink, log *even
 		wavepim.WithDt(dt),
 		wavepim.WithObs(sink),
 		wavepim.WithRunID(id),
+		wavepim.WithTraceID(traceID),
 		wavepim.WithEventLog(log),
 		wavepim.WithFlightRecorder(fr),
 		wavepim.WithProgressEvery(s.progressEvery),

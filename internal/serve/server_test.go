@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"wavepim/internal/cluster"
+	"wavepim/internal/cluster/trace"
 	"wavepim/internal/obs/eventlog"
 )
 
@@ -198,6 +199,72 @@ func TestDaemonFlightDump(t *testing.T) {
 	_, metrics := getBody(t, ts.URL+"/metrics")
 	if !strings.Contains(metrics, `wavepimd_runs_total{status="failed"} 1`) {
 		t.Fatal("failed run not counted")
+	}
+}
+
+// TestDaemonTraceHeaderAdoption: a submission carrying a coordinator's
+// X-Wavepim-Trace header binds the run to the cluster trace — the run
+// view exposes the trace id and a flight dump attributes to it — while
+// a malformed header is ignored rather than rejected.
+func TestDaemonTraceHeaderAdoption(t *testing.T) {
+	_, ts := testServer(t, 1, 8)
+	tcx := trace.New("trace-job-1")
+	spec := `{"equation":"acoustic","steps":8,"faults":"seed=13,flip=5e-3","recover":"ecc=0,ckpt=2,rollbacks=1,blowup=10"}`
+	req, err := http.NewRequest("POST", ts.URL+"/v1/runs", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(trace.Header, tcx.String())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", resp.StatusCode, out)
+	}
+	v := waitRun(t, ts.URL, out["id"])
+	if v.Trace != tcx.Hex() {
+		t.Fatalf("run view trace %q, want %q", v.Trace, tcx.Hex())
+	}
+	// The spec is the flight-dump scenario: the dump carries the trace id
+	// so a worker-side artifact correlates with the cluster timeline.
+	code, body := getBody(t, ts.URL+"/runs/"+out["id"]+"/flight")
+	if code != http.StatusOK {
+		t.Fatalf("flight: %d %s", code, body)
+	}
+	var dump eventlog.FlightDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Trace != tcx.Hex() {
+		t.Fatalf("flight dump trace %q, want %q", dump.Trace, tcx.Hex())
+	}
+
+	// A malformed header never blocks submission; the run is untraced.
+	req, err = http.NewRequest("POST", ts.URL+"/v1/runs", strings.NewReader(`{"equation":"acoustic","steps":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(trace.Header, "not-a-trace-context")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = map[string]string{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("malformed-header submit: %d %v", resp.StatusCode, out)
+	}
+	if v := waitRun(t, ts.URL, out["id"]); v.Trace != "" {
+		t.Fatalf("malformed header produced trace %q", v.Trace)
 	}
 }
 

@@ -69,6 +69,7 @@ type sessionConfig struct {
 	recovery *fault.Recovery
 
 	runID         string
+	traceID       string
 	log           *eventlog.Logger
 	flight        *eventlog.FlightRecorder
 	flightTo      io.Writer
@@ -208,6 +209,14 @@ func WithRecovery(rec fault.Recovery) Option {
 // (wavepimd uses its run ids; CLI runs may leave it empty).
 func WithRunID(id string) Option {
 	return func(c *sessionConfig) { c.runID = id }
+}
+
+// WithTraceID attaches the cluster-level trace id (hex) a coordinator
+// assigned this job. Flight dumps carry it so a dump pulled off a worker
+// can be correlated with the coordinator's merged trace; "" (the
+// default) leaves dumps unchanged.
+func WithTraceID(id string) Option {
+	return func(c *sessionConfig) { c.traceID = id }
 }
 
 // WithProgressEvery makes Run emit a run.progress event (step index plus
@@ -538,6 +547,7 @@ func (s *Session) finishRun(err error) {
 		return
 	}
 	s.lastDump = s.cfg.flight.Dump(reason, s.cfg.runID)
+	s.lastDump.Trace = s.cfg.traceID
 	if s.cfg.flightTo != nil {
 		s.lastDump.WriteJSON(s.cfg.flightTo)
 	}

@@ -1,0 +1,176 @@
+#!/usr/bin/env bash
+# cluster_trace_guard.sh — CI guard for the distributed-tracing pipeline
+# (DESIGN.md §15):
+#
+#   1. In-process determinism under -race: the golden merged-trace test
+#      (two fixed-clock cluster stacks, byte-identical /v1/jobs/{id}/trace)
+#      and the chaos-seeded trace test (retry/backoff spans with typed
+#      annotations, nested inside the root job span, no host leakage).
+#   2. The real binaries: a wavepimctl + 3 wavepimd cluster takes
+#      mixed-priority jobs; every merged trace must be a well-formed
+#      Chrome trace document — both processes present, every span with
+#      non-negative duration, every coordinator span nested inside the
+#      root job span — and /v1/metrics must expose the four stage-latency
+#      histogram families plus the per-priority queue gauges.
+#   3. Cross-run stability: a second seeded run's merged trace, with the
+#      wall-clock ts/dur fields stripped, is byte-identical to the first
+#      — span identity, names, nesting, and annotations are a pure
+#      function of the job, never of timing. (Byte-identity WITH
+#      timestamps is proven by the fixed-clock test in step 1; real
+#      binaries read a real clock.)
+#
+# Usage: scripts/cluster_trace_guard.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+	for p in "${PIDS[@]:-}"; do kill -TERM "$p" 2>/dev/null || true; done
+	wait 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "trace guard [1/3]: golden + chaos trace tests under -race"
+go test -race -count 1 -run 'TestClusterGoldenMergedTrace|TestChaosTraceSpans' \
+	./internal/cluster/
+
+echo "trace guard [2/3]: merged traces and metrics on the real binaries"
+go build -o "$TMP/wavepimctl" ./cmd/wavepimctl
+go build -o "$TMP/wavepimd" ./cmd/wavepimd
+
+port() {
+	python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()'
+}
+
+# run_cluster <tag>: boots a fresh coordinator + 3 workers, submits the
+# fixed mixed-priority job set, waits for every job, then saves each
+# job's merged trace as $TMP/<tag>_<id>.json and the metrics page as
+# $TMP/<tag>_metrics.txt.
+run_cluster() {
+	local tag="$1" ctl_port ctl pids=()
+	ctl_port=$(port)
+	ctl="http://127.0.0.1:$ctl_port"
+	"$TMP/wavepimctl" -addr "127.0.0.1:$ctl_port" -seed 42 \
+		-eventlog "$TMP/${tag}_events.jsonl" \
+		-backoff-base 10ms -backoff-cap 200ms 2>>"$TMP/${tag}_ctl.log" &
+	pids+=($!)
+	PIDS+=($!)
+	for _ in $(seq 1 100); do
+		curl -sf "$ctl/v1/readyz" >/dev/null 2>&1 && break
+		sleep 0.1
+	done
+	for w in 1 2 3; do
+		"$TMP/wavepimd" -addr "127.0.0.1:$(port)" -workers 2 \
+			-coordinator "$ctl" -name "w$w" -heartbeat 200ms 2>>"$TMP/${tag}_w$w.log" &
+		pids+=($!)
+		PIDS+=($!)
+	done
+	# Submit only once all three workers are members: a job dispatched into
+	# an empty ring records wall-timing-dependent no-owner stall cycles,
+	# which step 3's structural diff would flag as divergence.
+	for _ in $(seq 1 100); do
+		[ "$(curl -sf "$ctl/v1/workers" | grep -o '"id"' | wc -l)" = "3" ] && break
+		sleep 0.1
+	done
+
+	local jobs="trace-high-0:high trace-norm-0:normal trace-norm-1:normal trace-low-0:low"
+	local steps=3
+	for j in $jobs; do
+		local id="${j%%:*}" prio="${j##*:}" code
+		code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$ctl/v1/jobs" \
+			-H 'Content-Type: application/json' \
+			-d "{\"equation\":\"acoustic\",\"steps\":$steps,\"priority\":\"$prio\",\"id\":\"$id\"}")
+		steps=$((steps + 1))
+		if [ "$code" != "202" ]; then
+			echo "trace guard: submit $id -> $code"
+			return 1
+		fi
+	done
+	for j in $jobs; do
+		local id="${j%%:*}" deadline=$((SECONDS + 60))
+		while :; do
+			curl -sf "$ctl/v1/jobs/$id" | grep -q '"status":"done"' && break
+			if [ $SECONDS -ge $deadline ]; then
+				echo "trace guard: job $id never finished"
+				curl -s "$ctl/v1/jobs" || true
+				return 1
+			fi
+			sleep 0.2
+		done
+		curl -sf "$ctl/v1/jobs/$id/trace" >"$TMP/${tag}_${id}.json"
+	done
+	curl -sf "$ctl/v1/metrics" >"$TMP/${tag}_metrics.txt"
+
+	for p in "${pids[@]}"; do kill -TERM "$p" 2>/dev/null || true; done
+	wait "${pids[@]}" 2>/dev/null || true
+}
+
+run_cluster a
+
+for f in "$TMP"/a_trace-*.json; do
+	python3 - "$f" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+evs = doc["traceEvents"]
+assert evs, "empty traceEvents"
+names = {e.get("args", {}).get("name") for e in evs if e.get("ph") == "M"}
+assert "wavepimctl" in names, f"coordinator process missing: {names}"
+assert any(n.startswith("wavepimd:") for n in names), f"worker process missing: {names}"
+spans = [e for e in evs if e.get("ph") == "X"]
+stages = {e["name"].split("#")[0] for e in spans if e["pid"] == 1}
+for want in ("job", "admission", "queue", "dispatch", "exec", "report"):
+    assert want in stages, f"stage {want} missing from {stages}"
+root = [e for e in spans if e["pid"] == 1 and e["name"] == "job"]
+assert len(root) == 1, f"{len(root)} root spans"
+lo, hi = root[0]["ts"], root[0]["ts"] + root[0]["dur"]
+for e in spans:
+    assert e["dur"] >= 0, f"negative duration: {e}"
+    if e["pid"] == 1:  # worker spans live on their own process clock
+        assert lo <= e["ts"] and e["ts"] + e["dur"] <= hi + 1, f"span escapes root: {e}"
+print(f"  {sys.argv[1].rsplit('/',1)[-1]}: {len(spans)} spans, ok")
+EOF
+done
+
+for fam in wavepimctl_job_queue_seconds wavepimctl_dispatch_seconds \
+	wavepimctl_exec_seconds wavepimctl_e2e_seconds; do
+	if ! grep -q "# TYPE $fam histogram" "$TMP/a_metrics.txt"; then
+		echo "trace guard: FAILED — metrics missing histogram family $fam"
+		exit 1
+	fi
+done
+for g in 'wavepimctl_queue_depth{priority="high"}' 'wavepimctl_queue_age_seconds{priority="low"}'; do
+	if ! grep -qF "$g" "$TMP/a_metrics.txt"; then
+		echo "trace guard: FAILED — metrics missing gauge $g"
+		exit 1
+	fi
+done
+echo "trace guard: metrics expose the latency decomposition"
+
+echo "trace guard [3/3]: second seeded run, timing-stripped trace diff"
+run_cluster b
+
+strip() {
+	python3 -c '
+import json, re, sys
+doc = json.load(open(sys.argv[1]))
+for e in doc["traceEvents"]:
+    e.pop("ts", None)
+    e.pop("dur", None)
+json.dump(doc, sys.stdout, indent=1, sort_keys=True)
+' "$1"
+}
+for f in "$TMP"/a_trace-*.json; do
+	id=$(basename "$f")
+	id=${id#a_}
+	strip "$f" >"$TMP/strip_a.json"
+	strip "$TMP/b_$id" >"$TMP/strip_b.json"
+	if ! cmp -s "$TMP/strip_a.json" "$TMP/strip_b.json"; then
+		echo "trace guard: FAILED — $id structure diverges across seeded runs:"
+		diff "$TMP/strip_a.json" "$TMP/strip_b.json" | head -40 || true
+		exit 1
+	fi
+done
+echo "trace guard: PASSED — traces well-formed, nested, and structurally stable"
